@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the real (non-simulated) hot-path data
+//! structures: the SPSC ring, the engine mailbox, the buffer pool, the
+//! CRC32C offload implementation, Timely updates, histogram recording,
+//! and wire-format encode/decode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use snap_repro::nic::crc::crc32c;
+use snap_repro::pony::timely::{Timely, TimelyConfig};
+use snap_repro::pony::wire::{OpFrame, PonyPacket};
+use snap_repro::shm::account::MemoryAccountant;
+use snap_repro::shm::pool::BufferPool;
+use snap_repro::shm::spsc::SpscRing;
+use snap_repro::shm::Mailbox;
+use snap_repro::sim::{Histogram, Nanos};
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |bench| {
+        let (p, cons) = SpscRing::with_capacity::<u64>(1024);
+        bench.iter(|| {
+            p.push(black_box(42)).unwrap();
+            black_box(cons.pop().unwrap());
+        });
+    });
+    g.bench_function("batch_16", |bench| {
+        let (p, cons) = SpscRing::with_capacity::<u64>(1024);
+        let mut out = Vec::with_capacity(16);
+        bench.iter(|| {
+            let mut src = 0..16u64;
+            p.push_batch(&mut src);
+            out.clear();
+            cons.pop_batch(&mut out, 16);
+            black_box(out.len());
+        });
+    });
+    g.finish();
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    c.bench_function("mailbox_post_service", |bench| {
+        let (mb, rx) = Mailbox::<u64>::new();
+        let mut state = 0u64;
+        bench.iter(|| {
+            mb.post(|s| *s += 1).unwrap();
+            rx.service(&mut state);
+        });
+        black_box(state);
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("buffer_pool_alloc_free", |bench| {
+        let pool = BufferPool::new(256, 2048, &MemoryAccountant::new(), "bench");
+        bench.iter(|| {
+            let buf = pool.alloc().unwrap();
+            black_box(buf.index());
+        });
+    });
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c");
+    for size in [64usize, 1500, 5000] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |bench| {
+            bench.iter(|| black_box(crc32c(black_box(&data))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_timely(c: &mut Criterion) {
+    c.bench_function("timely_rtt_update", |bench| {
+        let mut t = Timely::new(TimelyConfig::default());
+        let mut rtt = 20_000u64;
+        bench.iter(|| {
+            rtt = 20_000 + (rtt * 13) % 10_000;
+            t.on_rtt_sample(Nanos(black_box(rtt)));
+            black_box(t.rate());
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record", |bench| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        bench.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v % 10_000_000));
+        });
+        black_box(h.count());
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = PonyPacket {
+        version: 5,
+        flow: 77,
+        seq: 123456,
+        cum_ack: 123450,
+        sacks: vec![123460, 123462],
+        frame: OpFrame::MsgChunk {
+            conn: 9,
+            stream: 2,
+            msg: 55,
+            offset: 8192,
+            total: 1_000_000,
+            len: 4096,
+        },
+    };
+    c.bench_function("wire_encode", |bench| {
+        bench.iter(|| black_box(pkt.encode()));
+    });
+    let encoded = pkt.encode();
+    c.bench_function("wire_decode", |bench| {
+        bench.iter(|| black_box(PonyPacket::decode(black_box(&encoded)).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spsc,
+    bench_mailbox,
+    bench_pool,
+    bench_crc,
+    bench_timely,
+    bench_histogram,
+    bench_wire
+);
+criterion_main!(benches);

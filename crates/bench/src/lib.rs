@@ -1,0 +1,19 @@
+//! Benchmark harness for the Snap reproduction.
+//!
+//! Every table and figure in the paper's evaluation (§5) has a
+//! corresponding `[[bench]]` target in this crate (see `DESIGN.md` for
+//! the index). The figure benches are plain `harness = false` binaries
+//! that drive the simulator and print paper-style rows; `micro` is a
+//! Criterion suite over the real lock-free data structures.
+//!
+//! [`rack`] implements the §5.2 all-to-all RPC rack used by
+//! Fig. 6(b)/(c)/(d) and Fig. 7, for both Snap/Pony and the kernel-TCP
+//! baseline.
+
+pub mod rack;
+
+/// Prints a bench header in a consistent format.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}

@@ -1,0 +1,1048 @@
+//! Engine groups and the three engine-scheduling modes (§2.4).
+//!
+//! "Snap accommodates each of these cases with support for bundling
+//! engines into groups with a specific scheduling mode, which dictates
+//! a scheduling algorithm and CPU resource constraints."
+//!
+//! * **Dedicating cores** — engines pinned to dedicated hyperthreads,
+//!   spin-polling; CPU does not scale with load but latency is minimal.
+//!   When CPU constrained (more engines than cores) the runtime
+//!   fair-shares by multiplexing engines round-robin on the workers.
+//! * **Spreading engines** — one thread per engine; blocks on
+//!   interrupt notification when idle and wakes through the MicroQuanta
+//!   class with priority. Best tail latency given enough cores, at the
+//!   cost of per-wake interrupt/context-switch overhead.
+//! * **Compacting engines** — work collapses onto as few cores as
+//!   possible; a rebalancer polls engine queueing delays (estimated
+//!   Shenango-style from the age of the oldest pending item) and scales
+//!   out when the delay exceeds the latency SLO, migrating engines back
+//!   and compacting when load subsides.
+//!
+//! The runtime here is simulator-driven: workers are virtual threads
+//! whose wakeups, slices, and spin time are charged against the shared
+//! [`snap_sched::Machine`] and metered for the Fig. 6(b) CPU curves.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snap_shm::account::CpuAccountant;
+use snap_sim::costs;
+use snap_sim::{Nanos, Sim};
+
+use snap_sched::classes::{MicroQuantaBudget, SchedClass};
+use snap_sched::machine::{CoreId, Machine};
+
+use crate::engine::{Engine, EngineId, RunReport};
+
+/// Shared machine handle (matches `snap_sched::antagonist::MachineHandle`).
+pub type MachineHandle = Rc<RefCell<Machine>>;
+
+/// The scheduling mode of an engine group (§2.4, Fig. 3).
+#[derive(Debug, Clone)]
+pub enum SchedulingMode {
+    /// Pin engines to dedicated spinning hyperthreads.
+    Dedicated {
+        /// Cores granted to this group; engines are distributed
+        /// round-robin and fair-shared when outnumbering cores.
+        cores: Vec<CoreId>,
+    },
+    /// One interrupt-driven MicroQuanta thread per engine.
+    Spreading,
+    /// Collapse onto few cores; scale by queueing-delay SLO.
+    Compacting {
+        /// Queueing-delay SLO that triggers scale-out.
+        slo: Nanos,
+        /// Rebalancer polling interval (non-preemptive polling is the
+        /// latency floor of this mode, §2.4).
+        rebalance_poll: Nanos,
+        /// Idle time after which the last spinning worker blocks, to
+        /// "scale down to less than a full core".
+        idle_block: Nanos,
+    },
+}
+
+impl SchedulingMode {
+    /// The default compacting configuration used in the evaluation.
+    pub fn compacting_default() -> SchedulingMode {
+        SchedulingMode::Compacting {
+            slo: Nanos::from_micros(50),
+            rebalance_poll: Nanos::from_micros(10),
+            idle_block: Nanos::from_micros(100),
+        }
+    }
+}
+
+/// Group construction parameters.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Group name (dashboards, upgrade logs).
+    pub name: String,
+    /// Scheduling mode.
+    pub mode: SchedulingMode,
+    /// Kernel scheduling class for the group's worker threads; `None`
+    /// picks the mode's default (FIFO for dedicated cores, MicroQuanta
+    /// otherwise). Fig. 6(d) sets `Some(Cfs { nice: -20 })` to compare
+    /// MicroQuanta against the best CFS can do.
+    pub class: Option<SchedClass>,
+}
+
+impl GroupConfig {
+    /// Config with the mode's default scheduling class.
+    pub fn new(name: impl Into<String>, mode: SchedulingMode) -> Self {
+        GroupConfig {
+            name: name.into(),
+            mode,
+            class: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerState {
+    /// Spin-polling with no work; `since` starts the idle-spin clock.
+    SpinningIdle { since: Nanos },
+    /// Parked on interrupt notification.
+    Blocked,
+    /// A wakeup or run pass is already scheduled.
+    Scheduled,
+}
+
+struct Worker {
+    engines: Vec<EngineId>,
+    state: WorkerState,
+    core: CoreId,
+    /// Spinning workers burn their core while idle; blocked workers
+    /// pay a wake cost instead.
+    spins: bool,
+    budget: Option<MicroQuantaBudget>,
+    /// Cancels the pending "block after idling" event, if any.
+    idle_block_event: Option<snap_sim::EventHandle>,
+}
+
+struct Slot {
+    engine: Box<dyn Engine>,
+    worker: usize,
+    /// Depth-1 deferred control work (the engine mailbox, §2.3),
+    /// executed on the engine's worker at the start of its next pass.
+    mailbox: Option<Box<dyn FnOnce(&mut dyn Engine)>>,
+    last_report: RunReport,
+}
+
+/// Aggregated CPU consumption of a group.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupCpu {
+    /// CPU spent inside engine passes (useful work + poll passes).
+    pub engine: Nanos,
+    /// CPU burned spin-polling while idle.
+    pub spin: Nanos,
+    /// Interrupt + context-switch overhead of blocked-thread wakeups.
+    pub wake_overhead: Nanos,
+}
+
+impl GroupCpu {
+    /// Total CPU across all categories.
+    pub fn total(&self) -> Nanos {
+        self.engine + self.spin + self.wake_overhead
+    }
+}
+
+/// An engine group plus its scheduling runtime state.
+pub struct EngineGroup {
+    name: String,
+    mode: SchedulingMode,
+    class_override: Option<SchedClass>,
+    slots: Vec<Option<Slot>>,
+    workers: Vec<Worker>,
+    machine: MachineHandle,
+    cpu: GroupCpu,
+    accountant: CpuAccountant,
+    next_core: usize,
+    started: bool,
+    /// Set by [`GroupHandle::stop`]; ends the rebalancer loop so a
+    /// drained simulation can terminate.
+    stopped: bool,
+    /// Engines currently detached for upgrade are not scheduled.
+    suspended: Vec<bool>,
+}
+
+impl EngineGroup {
+    fn sched_class(&self) -> SchedClass {
+        if let Some(class) = self.class_override {
+            return class;
+        }
+        match self.mode {
+            SchedulingMode::Dedicated { .. } => SchedClass::Fifo,
+            _ => SchedClass::microquanta_default(),
+        }
+    }
+}
+
+/// Cloneable handle to a shared [`EngineGroup`]; the public API.
+#[derive(Clone)]
+pub struct GroupHandle {
+    inner: Rc<RefCell<EngineGroup>>,
+}
+
+impl GroupHandle {
+    /// Creates an empty group on `machine`.
+    pub fn new(cfg: GroupConfig, machine: MachineHandle, accountant: CpuAccountant) -> Self {
+        GroupHandle {
+            inner: Rc::new(RefCell::new(EngineGroup {
+                name: cfg.name,
+                mode: cfg.mode,
+                class_override: cfg.class,
+                slots: Vec::new(),
+                workers: Vec::new(),
+                machine,
+                cpu: GroupCpu::default(),
+                accountant,
+                next_core: 0,
+                started: false,
+                stopped: false,
+                suspended: Vec::new(),
+            })),
+        }
+    }
+
+    /// Group name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Adds an engine; returns its id. May be called before or after
+    /// [`GroupHandle::start`].
+    pub fn add_engine(&self, engine: Box<dyn Engine>) -> EngineId {
+        let mut g = self.inner.borrow_mut();
+        let id = EngineId(g.slots.len() as u32);
+        let worker = match g.mode {
+            SchedulingMode::Dedicated { ref cores } => {
+                // One spinning worker per granted core; engines beyond
+                // the core count fair-share existing workers.
+                let wi = g.slots.len() % cores.len().max(1);
+                if g.workers.len() <= wi {
+                    let core = cores.get(wi).copied().unwrap_or(0);
+                    g.machine.borrow_mut().set_spinning(core, true);
+                    g.workers.push(Worker {
+                        engines: Vec::new(),
+                        state: WorkerState::SpinningIdle { since: Nanos::ZERO },
+                        core,
+                        spins: true,
+                        budget: None,
+                        idle_block_event: None,
+                    });
+                }
+                wi
+            }
+            SchedulingMode::Spreading => {
+                // One blocked worker per engine, MicroQuanta bandwidth.
+                let core = g.next_core;
+                let num_cores = g.machine.borrow().num_cores();
+                g.next_core = (g.next_core + 1) % num_cores;
+                g.workers.push(Worker {
+                    engines: Vec::new(),
+                    state: WorkerState::Blocked,
+                    core,
+                    spins: false,
+                    budget: Some(MicroQuantaBudget::default_engine()),
+                    idle_block_event: None,
+                });
+                g.workers.len() - 1
+            }
+            SchedulingMode::Compacting { .. } => {
+                // All engines start on the primary spinning worker.
+                if g.workers.is_empty() {
+                    g.machine.borrow_mut().set_spinning(0, true);
+                    g.workers.push(Worker {
+                        engines: Vec::new(),
+                        state: WorkerState::SpinningIdle { since: Nanos::ZERO },
+                        core: 0,
+                        spins: true,
+                        budget: Some(MicroQuantaBudget::default_engine()),
+                        idle_block_event: None,
+                    });
+                }
+                0
+            }
+        };
+        g.workers[worker].engines.push(id);
+        g.slots.push(Some(Slot {
+            engine,
+            worker,
+            mailbox: None,
+            last_report: RunReport::default(),
+        }));
+        g.suspended.push(false);
+        id
+    }
+
+    /// Starts the group runtime (rebalancer for compacting mode).
+    pub fn start(&self, sim: &mut Sim) {
+        let (rebalance, started) = {
+            let mut g = self.inner.borrow_mut();
+            let started = g.started;
+            g.started = true;
+            match g.mode {
+                SchedulingMode::Compacting { rebalance_poll, .. } => {
+                    (Some(rebalance_poll), started)
+                }
+                _ => (None, started),
+            }
+        };
+        if started {
+            return;
+        }
+        if let Some(poll) = rebalance {
+            let handle = self.clone();
+            snap_sim::event::every(sim, sim.now() + poll, poll, move |sim| {
+                if handle.inner.borrow().stopped {
+                    return false;
+                }
+                handle.rebalance(sim);
+                true
+            });
+        }
+    }
+
+    /// Overrides the kernel scheduling class for this group's workers
+    /// (Fig. 6d compares MicroQuanta against CFS nice -20).
+    pub fn set_class_override(&self, class: SchedClass) {
+        self.inner.borrow_mut().class_override = Some(class);
+    }
+
+    /// Stops the group's background rebalancer (compacting mode); the
+    /// simulation can then drain. Engines already scheduled finish
+    /// their work.
+    pub fn stop(&self) {
+        self.inner.borrow_mut().stopped = true;
+    }
+
+    /// Engine ids currently in the group.
+    pub fn engine_ids(&self) -> Vec<EngineId> {
+        let g = self.inner.borrow();
+        (0..g.slots.len() as u32)
+            .map(EngineId)
+            .filter(|id| g.slots[id.0 as usize].is_some())
+            .collect()
+    }
+
+    /// Returns a cloneable wake callback for an engine, safe to invoke
+    /// from any simulator event (it defers through the event queue, so
+    /// calling it from inside a pass cannot re-enter the runtime).
+    pub fn wake_handle(&self, id: EngineId) -> Rc<dyn Fn(&mut Sim)> {
+        let handle = self.clone();
+        Rc::new(move |sim: &mut Sim| {
+            let handle = handle.clone();
+            sim.schedule_at(sim.now(), move |sim| handle.wake(sim, id));
+        })
+    }
+
+    /// Signals that an engine has new work (packet arrival, command
+    /// submission, timer). Schedules its worker if necessary.
+    pub fn wake(&self, sim: &mut Sim, id: EngineId) {
+        let now = sim.now();
+        let (worker_idx, action) = {
+            let mut g = self.inner.borrow_mut();
+            if g.suspended[id.0 as usize] || g.slots[id.0 as usize].is_none() {
+                return;
+            }
+            let wi = g.slots[id.0 as usize].as_ref().expect("checked above").worker;
+            let class = g.sched_class();
+            let w = &mut g.workers[wi];
+            match w.state {
+                WorkerState::Scheduled => (wi, None),
+                WorkerState::SpinningIdle { since } => {
+                    if let Some(ev) = w.idle_block_event.take() {
+                        ev.cancel();
+                    }
+                    w.state = WorkerState::Scheduled;
+                    g.cpu.spin += now.saturating_sub(since);
+                    (wi, Some(Nanos(costs::SPIN_PICKUP_NS)))
+                }
+                WorkerState::Blocked => {
+                    w.state = WorkerState::Scheduled;
+                    let core_hint = Some(wi as u64);
+                    let (core, lat) =
+                        g.machine.borrow_mut().interrupt_wakeup(now, class, core_hint);
+                    let w = &mut g.workers[wi];
+                    w.core = core;
+                    g.cpu.wake_overhead +=
+                        Nanos(costs::INTERRUPT_NS + costs::CONTEXT_SWITCH_NS);
+                    (wi, Some(lat))
+                }
+            }
+        };
+        if let Some(delay) = action {
+            let handle = self.clone();
+            sim.schedule_at(now + delay, move |sim| handle.run_worker(sim, worker_idx));
+        }
+    }
+
+    /// One worker scheduling pass: service mailboxes, run each assigned
+    /// engine once, charge CPU, and reschedule or go idle.
+    fn run_worker(&self, sim: &mut Sim, worker_idx: usize) {
+        // Collect the engines to run without holding the borrow across
+        // `Engine::run` (engines may transmit packets, which schedules
+        // fabric events; those only fire later, but they may also call
+        // wake handles which defer through the event queue).
+        let engine_ids = {
+            let g = self.inner.borrow();
+            match g.workers.get(worker_idx) {
+                Some(w) => w.engines.clone(),
+                None => return,
+            }
+        };
+        let now = sim.now();
+        let mut total_cpu = Nanos::ZERO;
+        let mut any_work = false;
+        let mut any_pending = false;
+        for id in &engine_ids {
+            // Take the engine out of the slot to run it borrow-free.
+            let taken = {
+                let mut g = self.inner.borrow_mut();
+                if g.suspended[id.0 as usize] {
+                    continue;
+                }
+                g.slots[id.0 as usize].as_mut().and_then(|slot| {
+                    let mb = slot.mailbox.take();
+                    Some((std::mem::replace(
+                        &mut slot.engine,
+                        Box::new(crate::engine::CountingEngine::new("placeholder", Nanos(0))),
+                    ), mb))
+                })
+            };
+            let Some((mut engine, mailbox)) = taken else { continue };
+            if let Some(work) = mailbox {
+                work(engine.as_mut());
+            }
+            let report = engine.run(sim);
+            total_cpu += report.cpu;
+            any_work |= report.work_done;
+            any_pending |= report.pending > 0;
+            let container = engine.container().to_string();
+            let mut g = self.inner.borrow_mut();
+            g.accountant.charge(&container, report.cpu.as_nanos());
+            if let Some(slot) = g.slots[id.0 as usize].as_mut() {
+                slot.engine = engine;
+                slot.last_report = report;
+            }
+        }
+
+        // Earliest self-timer deadline across this worker's engines:
+        // near deadlines are poll-waited (burning spin CPU) instead of
+        // paying a block + interrupt-wake cycle per pacing gap.
+        let next_deadline = {
+            let g = self.inner.borrow();
+            engine_ids
+                .iter()
+                .filter_map(|id| g.slots[id.0 as usize].as_ref())
+                .filter_map(|s| s.last_report.next_deadline)
+                .min()
+        };
+
+        // Charge the machine and decide what happens next.
+        let next = {
+            let mut g = self.inner.borrow_mut();
+            g.cpu.engine += total_cpu;
+            let w = &mut g.workers[worker_idx];
+            let core = w.core;
+            let throttle_start = match w.budget.as_mut() {
+                Some(b) if !total_cpu.is_zero() => b.request(now, total_cpu),
+                _ => now,
+            };
+            g.machine.borrow_mut().run_slice(core, throttle_start, total_cpu);
+            let w = &mut g.workers[worker_idx];
+            if any_work || any_pending {
+                w.state = WorkerState::Scheduled;
+                Some(throttle_start + total_cpu)
+            } else if let Some(d) = next_deadline.filter(|&d| {
+                d.saturating_sub(now) <= Nanos(costs::ENGINE_SPIN_WAIT_NS)
+            }) {
+                // Poll-wait: stay runnable and burn the gap as spin.
+                let resume = d.max(now + Nanos(1));
+                w.state = WorkerState::Scheduled;
+                g.cpu.spin += resume - now;
+                Some(resume)
+            } else {
+                if w.spins {
+                    w.state = WorkerState::SpinningIdle { since: now };
+                } else {
+                    w.state = WorkerState::Blocked;
+                }
+                None
+            }
+        };
+
+        match next {
+            Some(at) => {
+                let handle = self.clone();
+                sim.schedule_at(at.max(now), move |sim| handle.run_worker(sim, worker_idx));
+            }
+            None => {
+                // Far-future self-timer (pacing, shaper refill, RTO):
+                // arm a framework wake so a blocked worker resumes at
+                // the deadline (a wake of a running worker is a no-op).
+                if let (Some(d), Some(&first)) = (next_deadline, engine_ids.first()) {
+                    let handle = self.clone();
+                    sim.schedule_at(d.max(now), move |sim| handle.wake(sim, first));
+                }
+                self.maybe_arm_idle_block(sim, worker_idx);
+            }
+        }
+    }
+
+    /// For compacting mode: after `idle_block` of idle spinning, the
+    /// worker blocks and releases its core ("scale down to less than a
+    /// full core").
+    fn maybe_arm_idle_block(&self, sim: &mut Sim, worker_idx: usize) {
+        let idle_block = {
+            let g = self.inner.borrow();
+            match g.mode {
+                SchedulingMode::Compacting { idle_block, .. } if g.workers[worker_idx].spins => {
+                    Some(idle_block)
+                }
+                _ => None,
+            }
+        };
+        let Some(idle_block) = idle_block else { return };
+        let handle = self.clone();
+        let ev = sim.schedule_cancellable_in(idle_block, move |sim| {
+            let mut g = handle.inner.borrow_mut();
+            let now = sim.now();
+            let w = &mut g.workers[worker_idx];
+            if let WorkerState::SpinningIdle { since } = w.state {
+                w.state = WorkerState::Blocked;
+                w.spins = false;
+                let core = w.core;
+                g.machine.borrow_mut().set_spinning(core, false);
+                g.cpu.spin += now.saturating_sub(since);
+            }
+        });
+        self.inner.borrow_mut().workers[worker_idx].idle_block_event = Some(ev);
+    }
+
+    /// The compacting rebalancer (§2.4): scale out on SLO violation,
+    /// migrate back and compact when load subsides.
+    fn rebalance(&self, sim: &mut Sim) {
+        let now = sim.now();
+        let slo = {
+            let g = self.inner.borrow();
+            match g.mode {
+                SchedulingMode::Compacting { slo, .. } => slo,
+                _ => return,
+            }
+        };
+
+        // Scale out: find an overloaded worker with more than one
+        // engine and move its most-delayed engine to an idle worker.
+        let mut move_plan: Option<(usize, EngineId)> = None;
+        {
+            let g = self.inner.borrow();
+            'outer: for (wi, w) in g.workers.iter().enumerate() {
+                if w.engines.len() <= 1 {
+                    continue;
+                }
+                let mut worst: Option<(EngineId, Nanos)> = None;
+                for id in &w.engines {
+                    if let Some(slot) = g.slots[id.0 as usize].as_ref() {
+                        let age = slot.engine.oldest_pending_age(now);
+                        if age > slo && worst.map(|(_, a)| age > a).unwrap_or(true) {
+                            worst = Some((*id, age));
+                        }
+                    }
+                }
+                if let Some((id, _)) = worst {
+                    move_plan = Some((wi, id));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((from, id)) = move_plan {
+            self.scale_out(sim, from, id);
+            return; // one action per poll, like the paper's rebalancer
+        }
+
+        // Compact: merge an entirely idle secondary worker back into
+        // the primary.
+        let mut merge_plan: Option<usize> = None;
+        {
+            let g = self.inner.borrow();
+            for (wi, w) in g.workers.iter().enumerate().skip(1) {
+                if w.engines.is_empty() {
+                    continue;
+                }
+                let all_idle = w.engines.iter().all(|id| {
+                    g.slots[id.0 as usize]
+                        .as_ref()
+                        .map(|s| s.engine.pending_work() == 0)
+                        .unwrap_or(true)
+                });
+                let primary_ok = g.workers[0].engines.iter().all(|id| {
+                    g.slots[id.0 as usize]
+                        .as_ref()
+                        .map(|s| s.engine.oldest_pending_age(now) < slo / 2)
+                        .unwrap_or(true)
+                });
+                if all_idle && primary_ok {
+                    merge_plan = Some(wi);
+                    break;
+                }
+            }
+        }
+        if let Some(wi) = merge_plan {
+            let mut g = self.inner.borrow_mut();
+            let engines = std::mem::take(&mut g.workers[wi].engines);
+            for id in &engines {
+                if let Some(slot) = g.slots[id.0 as usize].as_mut() {
+                    slot.worker = 0;
+                }
+            }
+            g.workers[0].engines.extend(engines);
+            let w = &mut g.workers[wi];
+            let spin_accrued = match w.state {
+                WorkerState::SpinningIdle { since } => now.saturating_sub(since),
+                _ => Nanos::ZERO,
+            };
+            let core = w.core;
+            w.state = WorkerState::Blocked;
+            w.spins = false;
+            g.cpu.spin += spin_accrued;
+            g.machine.borrow_mut().set_spinning(core, false);
+        }
+    }
+
+    /// Moves engine `id` from worker `from` to a fresh (or re-used
+    /// blocked) worker and wakes it there.
+    fn scale_out(&self, sim: &mut Sim, from: usize, id: EngineId) {
+        {
+            let mut g = self.inner.borrow_mut();
+            let w = &mut g.workers[from];
+            w.engines.retain(|e| *e != id);
+            // Reuse a blocked empty worker or create one.
+            let target = g
+                .workers
+                .iter()
+                .position(|w| w.engines.is_empty() && w.state == WorkerState::Blocked);
+            let ti = match target {
+                Some(t) => t,
+                None => {
+                    let cores = g.machine.borrow().num_cores();
+                    let core = g.next_core % cores;
+                    g.next_core += 1;
+                    g.workers.push(Worker {
+                        engines: Vec::new(),
+                        state: WorkerState::Blocked,
+                        core,
+                        spins: false,
+                        budget: Some(MicroQuantaBudget::default_engine()),
+                        idle_block_event: None,
+                    });
+                    g.workers.len() - 1
+                }
+            };
+            g.workers[ti].engines.push(id);
+            if let Some(slot) = g.slots[id.0 as usize].as_mut() {
+                slot.worker = ti;
+            }
+        }
+        self.wake(sim, id);
+    }
+
+    /// Posts depth-1 control work to run on the engine's worker before
+    /// its next pass (the engine mailbox, §2.3). Fails if work is
+    /// already pending.
+    pub fn post_to_engine(
+        &self,
+        sim: &mut Sim,
+        id: EngineId,
+        work: Box<dyn FnOnce(&mut dyn Engine)>,
+    ) -> Result<(), ()> {
+        {
+            let mut g = self.inner.borrow_mut();
+            let slot = g.slots[id.0 as usize].as_mut().ok_or(())?;
+            if slot.mailbox.is_some() {
+                return Err(());
+            }
+            slot.mailbox = Some(work);
+        }
+        self.wake(sim, id);
+        Ok(())
+    }
+
+    /// Runs `f` against an engine synchronously. In the real system
+    /// this is a mailbox call that blocks the *control* thread only; in
+    /// the simulator the control plane and engines share one thread, so
+    /// it executes immediately.
+    pub fn with_engine<R>(&self, id: EngineId, f: impl FnOnce(&mut dyn Engine) -> R) -> R {
+        let mut g = self.inner.borrow_mut();
+        let slot = g.slots[id.0 as usize]
+            .as_mut()
+            .expect("engine exists");
+        f(slot.engine.as_mut())
+    }
+
+    /// Suspends an engine (upgrade blackout start): it is no longer
+    /// scheduled and its detach hook runs (dropping NIC filters).
+    pub fn suspend_engine(&self, sim: &mut Sim, id: EngineId) {
+        let engine = {
+            let mut g = self.inner.borrow_mut();
+            if g.slots[id.0 as usize].is_none() {
+                return;
+            }
+            g.suspended[id.0 as usize] = true;
+            std::mem::replace(
+                &mut g.slots[id.0 as usize].as_mut().expect("checked").engine,
+                Box::new(crate::engine::CountingEngine::new("detached", Nanos(0))),
+            )
+        };
+        // Detach outside the borrow: the hook may drive the simulator.
+        let mut engine = engine;
+        engine.detach(sim);
+        let mut g = self.inner.borrow_mut();
+        g.slots[id.0 as usize].as_mut().expect("checked").engine = engine;
+    }
+
+    /// Replaces a suspended engine with its new-version successor and
+    /// resumes scheduling (upgrade blackout end).
+    pub fn resume_engine(&self, sim: &mut Sim, id: EngineId, engine: Box<dyn Engine>) {
+        {
+            let mut g = self.inner.borrow_mut();
+            let slot = g.slots[id.0 as usize].as_mut().expect("engine exists");
+            slot.engine = engine;
+            g.suspended[id.0 as usize] = false;
+        }
+        self.wake(sim, id);
+    }
+
+    /// Takes a suspended engine out entirely (for state serialization
+    /// by the upgrade orchestrator). The slot stays reserved.
+    pub fn take_engine(&self, id: EngineId) -> Option<Box<dyn Engine>> {
+        let mut g = self.inner.borrow_mut();
+        assert!(
+            g.suspended[id.0 as usize],
+            "taking a running engine; suspend it first"
+        );
+        g.slots[id.0 as usize]
+            .take()
+            .map(|s| {
+                g.slots[id.0 as usize] = Some(Slot {
+                    engine: Box::new(crate::engine::CountingEngine::new("migrating", Nanos(0))),
+                    worker: s.worker,
+                    mailbox: None,
+                    last_report: s.last_report.clone(),
+                });
+                s.engine
+            })
+    }
+
+    /// CPU consumption snapshot, flushing idle-spin accrual up to `now`.
+    pub fn cpu(&self, now: Nanos) -> GroupCpu {
+        let mut g = self.inner.borrow_mut();
+        let mut accrued = Nanos::ZERO;
+        for w in &mut g.workers {
+            if let WorkerState::SpinningIdle { since } = w.state {
+                if now > since {
+                    accrued += now - since;
+                    w.state = WorkerState::SpinningIdle { since: now };
+                }
+            }
+        }
+        g.cpu.spin += accrued;
+        g.cpu
+    }
+
+    /// Number of workers currently spinning or scheduled (≈ cores in
+    /// active use); diagnostic for the compacting scheduler tests.
+    pub fn active_workers(&self) -> usize {
+        self.inner
+            .borrow()
+            .workers
+            .iter()
+            .filter(|w| w.state != WorkerState::Blocked)
+            .count()
+    }
+
+    /// Total workers ever created.
+    pub fn worker_count(&self) -> usize {
+        self.inner.borrow().workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CountingEngine;
+
+    fn machine() -> MachineHandle {
+        Rc::new(RefCell::new(Machine::new(8, 1)))
+    }
+
+    fn counting_group(mode: SchedulingMode) -> (GroupHandle, EngineId) {
+        let g = GroupHandle::new(
+            GroupConfig {
+                name: "test".into(),
+                mode,
+                class: None,
+            },
+            machine(),
+            CpuAccountant::new(),
+        );
+        let id = g.add_engine(Box::new(CountingEngine::new("e0", Nanos(500))));
+        (g, id)
+    }
+
+    fn inject(g: &GroupHandle, id: EngineId, now: Nanos, n: usize) {
+        g.with_engine(id, |e| {
+            let e = e
+                .as_any()
+                .downcast_mut::<CountingEngine>()
+                .expect("tests only build CountingEngine");
+            for _ in 0..n {
+                e.inject(now);
+            }
+        });
+    }
+
+    fn processed(g: &GroupHandle, id: EngineId) -> u64 {
+        g.with_engine(id, |e| {
+            e.as_any()
+                .downcast_mut::<CountingEngine>()
+                .expect("tests only build CountingEngine")
+                .processed
+        })
+    }
+
+    #[test]
+    fn dedicated_mode_processes_work() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 40);
+        g.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(processed(&g, id), 40);
+        let cpu = g.cpu(sim.now());
+        assert!(cpu.engine > Nanos(40 * 500), "engine CPU {:?}", cpu);
+        assert_eq!(cpu.wake_overhead, Nanos::ZERO, "spinning never pays wakes");
+    }
+
+    #[test]
+    fn spreading_mode_pays_wake_overhead() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 5);
+        g.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(processed(&g, id), 5);
+        let cpu = g.cpu(sim.now());
+        assert!(cpu.wake_overhead > Nanos::ZERO);
+        assert_eq!(cpu.spin, Nanos::ZERO, "blocked workers never spin");
+    }
+
+    #[test]
+    fn spreading_gives_each_engine_a_worker() {
+        let (g, _) = counting_group(SchedulingMode::Spreading);
+        g.add_engine(Box::new(CountingEngine::new("e1", Nanos(100))));
+        g.add_engine(Box::new(CountingEngine::new("e2", Nanos(100))));
+        assert_eq!(g.worker_count(), 3);
+    }
+
+    #[test]
+    fn dedicated_fair_shares_when_core_constrained() {
+        let mut sim = Sim::new();
+        let g = GroupHandle::new(
+            GroupConfig {
+                name: "fair".into(),
+                mode: SchedulingMode::Dedicated { cores: vec![0, 1] },
+                class: None,
+            },
+            machine(),
+            CpuAccountant::new(),
+        );
+        let ids: Vec<EngineId> = (0..4)
+            .map(|i| g.add_engine(Box::new(CountingEngine::new(format!("e{i}"), Nanos(100)))))
+            .collect();
+        assert_eq!(g.worker_count(), 2, "4 engines share 2 cores");
+        g.start(&mut sim);
+        for id in &ids {
+            inject(&g, *id, sim.now(), 10);
+            g.wake(&mut sim, *id);
+        }
+        sim.run();
+        for id in &ids {
+            assert_eq!(processed(&g, *id), 10);
+        }
+    }
+
+    #[test]
+    fn compacting_starts_on_one_worker_and_scales_out() {
+        let mut sim = Sim::new();
+        let g = GroupHandle::new(
+            GroupConfig {
+                name: "compact".into(),
+                mode: SchedulingMode::Compacting {
+                    slo: Nanos::from_micros(5),
+                    rebalance_poll: Nanos::from_micros(10),
+                    idle_block: Nanos::from_millis(50),
+                },
+                class: None,
+            },
+            machine(),
+            CpuAccountant::new(),
+        );
+        // Two heavy engines on the primary: per-item cost is large so
+        // queueing delay blows through the SLO.
+        let a = g.add_engine(Box::new(CountingEngine::new("a", Nanos::from_micros(20))));
+        let b = g.add_engine(Box::new(CountingEngine::new("b", Nanos::from_micros(20))));
+        assert_eq!(g.worker_count(), 1);
+        g.start(&mut sim);
+        // Sustained load on both engines.
+        for round in 0..50u64 {
+            let at = Nanos::from_micros(round * 20);
+            let (g2, a2, b2) = (g.clone(), a, b);
+            sim.schedule_at(at, move |sim| {
+                inject(&g2, a2, sim.now(), 8);
+                inject(&g2, b2, sim.now(), 8);
+                g2.wake(sim, a2);
+                g2.wake(sim, b2);
+            });
+        }
+        sim.run_until(Nanos::from_millis(10));
+        g.stop();
+        sim.run();
+        assert!(g.worker_count() >= 2, "rebalancer should have scaled out");
+        assert_eq!(processed(&g, a), 400);
+        assert_eq!(processed(&g, b), 400);
+    }
+
+    #[test]
+    fn compacting_blocks_after_idle_and_rewakes() {
+        let mut sim = Sim::new();
+        let g = GroupHandle::new(
+            GroupConfig {
+                name: "idle".into(),
+                mode: SchedulingMode::Compacting {
+                    slo: Nanos::from_micros(50),
+                    rebalance_poll: Nanos::from_micros(10),
+                    idle_block: Nanos::from_micros(100),
+                },
+                class: None,
+            },
+            machine(),
+            CpuAccountant::new(),
+        );
+        let id = g.add_engine(Box::new(CountingEngine::new("e", Nanos(500))));
+        g.start(&mut sim);
+        inject(&g, id, Nanos::ZERO, 1);
+        g.wake(&mut sim, id);
+        sim.run_until(Nanos::from_millis(1));
+        // Long idle: the primary should have blocked, capping spin CPU.
+        let cpu_at_1ms = g.cpu(sim.now());
+        assert!(
+            cpu_at_1ms.spin < Nanos::from_micros(300),
+            "spin CPU {:?} should be bounded by idle_block",
+            cpu_at_1ms.spin
+        );
+        assert_eq!(g.active_workers(), 0, "worker blocked after idling");
+        // Work arrives again: the blocked worker wakes and processes.
+        inject(&g, id, sim.now(), 3);
+        g.wake(&mut sim, id);
+        sim.run_until(Nanos::from_millis(2));
+        assert_eq!(processed(&g, id), 4);
+    }
+
+    #[test]
+    fn mailbox_posts_run_before_next_pass() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        g.post_to_engine(
+            &mut sim,
+            id,
+            Box::new(|e: &mut dyn Engine| {
+                let e = e
+                    .as_any()
+                    .downcast_mut::<CountingEngine>()
+                    .expect("tests only build CountingEngine");
+                e.inject(Nanos::ZERO);
+                e.inject(Nanos::ZERO);
+            }),
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(processed(&g, id), 2);
+    }
+
+    #[test]
+    fn mailbox_is_depth_one() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        // Don't start: posts stack up un-serviced.
+        let first = g.post_to_engine(&mut sim, id, Box::new(|_| {}));
+        assert!(first.is_ok());
+        let second = g.post_to_engine(&mut sim, id, Box::new(|_| {}));
+        assert!(second.is_err(), "depth-1 mailbox must reject");
+    }
+
+    #[test]
+    fn suspend_stops_scheduling_and_resume_restores() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
+        g.start(&mut sim);
+        g.suspend_engine(&mut sim, id);
+        assert!(g.with_engine(id, |e| {
+            e.as_any()
+                .downcast_mut::<CountingEngine>()
+                .expect("tests only build CountingEngine")
+                .is_detached()
+        }));
+        inject(&g, id, sim.now(), 5);
+        g.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(processed(&g, id), 0, "suspended engine must not run");
+        // Take state out, build "new version", resume.
+        let mut old = g.take_engine(id).expect("suspended engine");
+        let _state = old.serialize_state();
+        let mut new_engine = CountingEngine::new("e0-v2", Nanos(500));
+        for _ in 0..5 {
+            new_engine.inject(sim.now());
+        }
+        g.resume_engine(&mut sim, id, Box::new(new_engine));
+        sim.run();
+        assert_eq!(processed(&g, id), 5);
+    }
+
+    #[test]
+    fn wake_handle_defers_and_wakes() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 1);
+        let wake = g.wake_handle(id);
+        wake(&mut sim);
+        sim.run();
+        assert_eq!(processed(&g, id), 1);
+    }
+
+    #[test]
+    fn cpu_charged_to_engine_container() {
+        let mut sim = Sim::new();
+        let acct = CpuAccountant::new();
+        let g = GroupHandle::new(
+            GroupConfig {
+                name: "acct".into(),
+                mode: SchedulingMode::Spreading,
+                class: None,
+            },
+            machine(),
+            acct.clone(),
+        );
+        let id = g.add_engine(Box::new(CountingEngine::new("e", Nanos(500))));
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 4);
+        g.wake(&mut sim, id);
+        sim.run();
+        // CountingEngine charges to the default "snap-system" container.
+        assert!(acct.usage("snap-system") >= 2_000);
+    }
+}

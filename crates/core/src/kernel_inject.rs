@@ -1,0 +1,360 @@
+//! The kernel packet-injection path (§1, §2, Fig. 2).
+//!
+//! "For use cases that integrate with existing kernel functionality,
+//! Snap supports an internally-developed driver for efficiently moving
+//! packets between Snap and the kernel." Fig. 2 shows engines handling
+//! "a subset of host kernel traffic that needs Snap-implemented traffic
+//! shaping policies applied".
+//!
+//! [`KernelRing`] models the driver: a pair of lock-free packet rings
+//! between the kernel stack and a Snap engine. [`InjectEngine`] is the
+//! Snap engine that pulls kernel-egress packets, runs them through a
+//! Click-style [`Pipeline`] (shaping, ACLs, counters), and transmits
+//! the survivors onto the fabric — giving kernel TCP traffic Snap's
+//! policy enforcement without touching the kernel stack itself.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use snap_nic::fabric::FabricHandle;
+use snap_nic::packet::{HostId, Packet};
+use snap_sim::costs;
+use snap_sim::{Nanos, Sim};
+
+use crate::elements::Pipeline;
+use crate::engine::{Engine, RunReport};
+
+/// One direction of the kernel↔Snap packet ring pair.
+///
+/// Simulator-side stand-in for the shared-memory packet rings the
+/// paper's driver maps between kernel and userspace; bounded, FIFO,
+/// drop-on-full (the kernel side treats it like a qdisc queue).
+#[derive(Clone)]
+pub struct KernelRing {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+struct RingInner {
+    queue: VecDeque<(Nanos, Packet)>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl KernelRing {
+    /// Creates a ring holding up to `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        KernelRing {
+            inner: Rc::new(RefCell::new(RingInner {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                drops: 0,
+            })),
+        }
+    }
+
+    /// Enqueues a packet from the kernel side; drops when full.
+    ///
+    /// Returns whether the packet was accepted.
+    pub fn inject(&self, now: Nanos, pkt: Packet) -> bool {
+        let mut r = self.inner.borrow_mut();
+        if r.queue.len() >= r.capacity {
+            r.drops += 1;
+            return false;
+        }
+        r.queue.push_back((now, pkt));
+        true
+    }
+
+    /// Dequeues up to `max` packets (engine side).
+    pub fn drain(&self, max: usize, out: &mut Vec<(Nanos, Packet)>) -> usize {
+        let mut r = self.inner.borrow_mut();
+        let n = max.min(r.queue.len());
+        out.extend(r.queue.drain(..n));
+        n
+    }
+
+    /// Packets waiting.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no packets wait.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Packets dropped at the full ring.
+    pub fn drops(&self) -> u64 {
+        self.inner.borrow().drops
+    }
+
+    /// Age of the head packet.
+    pub fn oldest_age(&self, now: Nanos) -> Nanos {
+        self.inner
+            .borrow()
+            .queue
+            .front()
+            .map(|(t, _)| now.saturating_sub(*t))
+            .unwrap_or(Nanos::ZERO)
+    }
+}
+
+/// Counters for an [`InjectEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct InjectStats {
+    /// Packets pulled from the kernel ring.
+    pub pulled: u64,
+    /// Packets that cleared the pipeline and hit the fabric.
+    pub transmitted: u64,
+    /// Packets the pipeline dropped (ACL, shaper overflow).
+    pub policy_drops: u64,
+}
+
+/// A Snap engine applying a policy pipeline to kernel egress traffic.
+pub struct InjectEngine {
+    name: String,
+    host: HostId,
+    queue: u16,
+    ring: KernelRing,
+    pipeline: Pipeline,
+    fabric: FabricHandle,
+    batch: usize,
+    stats: InjectStats,
+    buf: Vec<(Nanos, Packet)>,
+}
+
+impl InjectEngine {
+    /// Creates the engine: packets from `ring` flow through `pipeline`
+    /// and out of `host`'s NIC tx queue `queue`.
+    pub fn new(
+        name: impl Into<String>,
+        host: HostId,
+        queue: u16,
+        ring: KernelRing,
+        pipeline: Pipeline,
+        fabric: FabricHandle,
+    ) -> Self {
+        InjectEngine {
+            name: name.into(),
+            host,
+            queue,
+            ring,
+            pipeline,
+            fabric,
+            batch: costs::DEFAULT_POLL_BATCH,
+            stats: InjectStats::default(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &InjectStats {
+        &self.stats
+    }
+
+    /// The host whose kernel traffic this engine polices.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Pipeline stats access (e.g. shaper drops).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn transmit(&mut self, sim: &mut Sim, pkt: Packet) -> Nanos {
+        match self.fabric.transmit(sim, self.queue, pkt) {
+            Ok(()) => {
+                self.stats.transmitted += 1;
+                Nanos(costs::PONY_PER_PACKET_NS)
+            }
+            Err(_) => {
+                // No tx slot: drop like an overflowing qdisc; kernel
+                // TCP recovers via its own retransmission.
+                self.stats.policy_drops += 1;
+                Nanos(50)
+            }
+        }
+    }
+}
+
+impl Engine for InjectEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, sim: &mut Sim) -> RunReport {
+        let now = sim.now();
+        let mut cpu = Nanos(costs::ENGINE_POLL_PASS_NS);
+        self.buf.clear();
+        let mut staged = std::mem::take(&mut self.buf);
+        let n = self.ring.drain(self.batch, &mut staged);
+        let mut work = n > 0;
+        for (_, pkt) in staged.drain(..) {
+            self.stats.pulled += 1;
+            cpu += Nanos(300); // pipeline classification cost
+            let before = self.stats.transmitted;
+            for out in self.pipeline.push(pkt, now) {
+                cpu += self.transmit(sim, out);
+            }
+            if self.stats.transmitted == before {
+                // Held in a shaper or dropped by policy; distinguish by
+                // the held count later (drops counted by the elements).
+            }
+        }
+        self.buf = staged;
+        // Release shaped packets whose tokens refilled.
+        let released = self.pipeline.poll(now);
+        work |= !released.is_empty();
+        for out in released {
+            cpu += self.transmit(sim, out);
+        }
+        let pending = self.ring.len();
+        // A shaper holding packets needs a future poll; use its next
+        // release as the self-timer.
+        let next_deadline =
+            (self.pipeline.held() > 0).then(|| now + Nanos::from_micros(10));
+        RunReport {
+            cpu,
+            work_done: work,
+            pending,
+            next_deadline,
+        }
+    }
+
+    fn pending_work(&self) -> usize {
+        self.ring.len() + self.pipeline.held()
+    }
+
+    fn oldest_pending_age(&self, now: Nanos) -> Nanos {
+        self.ring.oldest_age(now)
+    }
+
+    fn serialize_state(&mut self) -> Vec<u8> {
+        // Policy engines are stateless modulo counters; shaper tokens
+        // re-accumulate after migration.
+        let mut w = snap_sim::codec::Writer::new();
+        w.u64(self.stats.pulled)
+            .u64(self.stats.transmitted)
+            .u64(self.stats.policy_drops);
+        w.finish()
+    }
+
+    fn detach(&mut self, _sim: &mut Sim) {}
+
+    fn container(&self) -> &str {
+        "kernel-inject"
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{AclFilter, Counter, TokenBucket};
+    use crate::group::{GroupConfig, GroupHandle, SchedulingMode};
+    use bytes::Bytes;
+    use snap_nic::fabric::FabricConfig;
+    use snap_nic::nic::NicConfig;
+    use snap_sched::machine::Machine;
+    use snap_shm::account::CpuAccountant;
+
+    fn world() -> (Sim, FabricHandle, GroupHandle, HostId, HostId) {
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig::default());
+        let a = fabric.add_host(NicConfig::default());
+        let b = fabric.add_host(NicConfig::default());
+        let machine = Rc::new(RefCell::new(Machine::new(4, 1)));
+        let group = GroupHandle::new(
+            GroupConfig::new("inject", SchedulingMode::Dedicated { cores: vec![0] }),
+            machine,
+            CpuAccountant::new(),
+        );
+        group.start(&mut sim);
+        (sim, fabric, group, a, b)
+    }
+
+    fn kernel_packet(src: HostId, dst: HostId, len: usize) -> Packet {
+        Packet::new(src, dst, Bytes::from(vec![0u8; len]))
+    }
+
+    #[test]
+    fn kernel_traffic_flows_through_policy_to_fabric() {
+        let (mut sim, fabric, group, a, b) = world();
+        let ring = KernelRing::new(256);
+        let pipeline = Pipeline::new().push_stage(Box::new(Counter::new()));
+        let engine = InjectEngine::new("inj", a, 0, ring.clone(), pipeline, fabric.clone());
+        let id = group.add_engine(Box::new(engine));
+
+        for _ in 0..10 {
+            assert!(ring.inject(sim.now(), kernel_packet(a, b, 500)));
+        }
+        group.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 10);
+        group.with_engine(id, |e| {
+            let e = e.as_any().downcast_mut::<InjectEngine>().unwrap();
+            assert_eq!(e.stats().pulled, 10);
+            assert_eq!(e.stats().transmitted, 10);
+        });
+    }
+
+    #[test]
+    fn acl_policy_drops_forbidden_kernel_traffic() {
+        let (mut sim, fabric, group, a, b) = world();
+        let ring = KernelRing::new(256);
+        let mut acl = AclFilter::new(true);
+        acl.add_rule(None, Some(b)); // deny everything to host b
+        let pipeline = Pipeline::new().push_stage(Box::new(acl));
+        let engine = InjectEngine::new("inj", a, 0, ring.clone(), pipeline, fabric.clone());
+        let id = group.add_engine(Box::new(engine));
+        ring.inject(sim.now(), kernel_packet(a, b, 100));
+        group.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 0);
+    }
+
+    #[test]
+    fn shaper_paces_kernel_egress() {
+        let (mut sim, fabric, group, a, b) = world();
+        let ring = KernelRing::new(1024);
+        // 1 MB/s shaper, 2 KB burst: 100 x 1KB packets take ~100 ms.
+        let pipeline =
+            Pipeline::new().push_stage(Box::new(TokenBucket::new(1e6, 2e3, 1024)));
+        let engine = InjectEngine::new("inj", a, 0, ring.clone(), pipeline, fabric.clone());
+        let id = group.add_engine(Box::new(engine));
+        for _ in 0..100 {
+            ring.inject(sim.now(), kernel_packet(a, b, 1000));
+        }
+        group.wake(&mut sim, id);
+        sim.run_until(Nanos::from_millis(10));
+        let early = fabric.with_nic(b, |n| n.rx_pending_total());
+        assert!(early < 15, "shaper must pace: {early} escaped in 10ms");
+        sim.run_until(Nanos::from_millis(300));
+        let done = fabric.with_nic(b, |n| n.rx_pending_total());
+        assert!(done >= 95, "shaped traffic eventually delivered: {done}");
+    }
+
+    #[test]
+    fn full_ring_backpressures_kernel() {
+        let ring = KernelRing::new(2);
+        let p = kernel_packet(1, 2, 10);
+        assert!(ring.inject(Nanos::ZERO, p.clone()));
+        assert!(ring.inject(Nanos::ZERO, p.clone()));
+        assert!(!ring.inject(Nanos::ZERO, p));
+        assert_eq!(ring.drops(), 1);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn ring_age_tracks_head() {
+        let ring = KernelRing::new(8);
+        assert!(ring.is_empty());
+        ring.inject(Nanos(100), kernel_packet(1, 2, 10));
+        assert_eq!(ring.oldest_age(Nanos(500)), Nanos(400));
+    }
+}

@@ -1,0 +1,96 @@
+//! CRC32C (Castagnoli) — the NIC's end-to-end invariant checksum.
+//!
+//! "Pony Express also exploits other stateless NIC offloads; one
+//! example is an end-to-end invariant CRC32 calculation over each
+//! packet" (§3.4). The simulated NIC stamps packets with this CRC on
+//! transmit and verifies on receive; the transport treats a mismatch as
+//! corruption and drops the packet, relying on retransmission.
+//!
+//! Table-driven (slice-by-1) implementation of CRC-32C with the
+//! Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78), verified
+//! against the RFC 3720 test vectors.
+
+/// Reflected CRC-32C polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continues a CRC32C computation: `crc` is the digest so far (0 to
+/// start), `data` the next chunk.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !crc;
+    for &b in data {
+        c = (c >> 8) ^ t[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3720_vectors() {
+        // Test vectors from RFC 3720 (iSCSI), Appendix B.4.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA, "32 bytes of zeroes");
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43, "32 bytes of ones");
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E, "ascending");
+        let descending: Vec<u8> = (0..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C, "descending");
+    }
+
+    #[test]
+    fn check_value() {
+        // The standard "check" input for CRC catalogs.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+
+    #[test]
+    fn append_equals_whole() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32c(data);
+        let (a, b) = data.split_at(17);
+        let partial = crc32c_append(crc32c(a), b);
+        assert_eq!(whole, partial);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = crc32c(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), clean, "flip at {byte}.{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

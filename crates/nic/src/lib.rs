@@ -1,0 +1,37 @@
+//! Virtual NIC and fabric substrate.
+//!
+//! The paper's evaluation runs on 50 and 100 Gbps NICs attached to a
+//! datacenter fabric. This crate provides the simulated stand-ins:
+//!
+//! * [`packet::Packet`] — the unit moved through the system, carrying
+//!   an opaque protocol payload (Pony Express wire bytes, TCP-model
+//!   segments) plus the fields the NIC itself looks at (steering key,
+//!   QoS class, wire size).
+//! * [`crc::crc32c`] — the end-to-end invariant CRC32 the paper
+//!   offloads to the NIC ("an end-to-end invariant CRC32 calculation
+//!   over each packet", §3.4), implemented and verified against
+//!   published test vectors.
+//! * [`nic::VirtNic`] — a multi-queue NIC with bounded rx descriptor
+//!   rings, RSS steering, attachable receive filters (the unit the
+//!   transparent-upgrade flow detaches and re-attaches, §4), tx
+//!   descriptor slot accounting (driving just-in-time packet
+//!   generation, §3.1), and optional interrupt delivery.
+//! * [`fabric::Fabric`] — links + a top-of-rack switch with per-QoS
+//!   egress queues, serialization/propagation delays, bounded buffers
+//!   with tail drop, and injectable random loss.
+//! * [`copy_engine::CopyEngine`] — the Intel I/OAT DMA model used for
+//!   receive copy offload (§3.4, Table 1).
+//!
+//! Everything here is driven by the single-threaded [`snap_sim::Sim`]
+//! event loop; handles are `Rc`-based by design.
+
+pub mod copy_engine;
+pub mod crc;
+pub mod fabric;
+pub mod nic;
+pub mod packet;
+
+pub use copy_engine::CopyEngine;
+pub use fabric::{Fabric, FabricConfig, FabricHandle};
+pub use nic::{NicConfig, NicStats, VirtNic};
+pub use packet::{HostId, Packet, QosClass};

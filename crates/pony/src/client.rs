@@ -1,0 +1,264 @@
+//! The Pony Express client library (§3.1).
+//!
+//! "Client applications contact Pony Express over a Unix domain socket
+//! at a well-known address through the Pony Express client library API.
+//! ... One such shared memory region implements the command and
+//! completion queues for asynchronous operations."
+//!
+//! [`PonyClient`] wraps the application side of a command/completion
+//! queue pair. Commands are *asynchronous operation-level* requests —
+//! "the application interface to Pony Express is based on asynchronous
+//! operation-level commands and completions, as opposed to a
+//! packet-level or byte-streaming sockets interface."
+
+use std::rc::Rc;
+
+use snap_shm::queue_pair::AppEndpoint;
+use snap_sim::{Nanos, Sim};
+
+/// An application-level operation command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PonyCommand {
+    /// Two-sided message send on a stream (§3.3).
+    Send {
+        /// Connection id (from the connect RPC).
+        conn: u64,
+        /// Stream id; messages on different streams do not block each
+        /// other.
+        stream: u32,
+        /// Message length in bytes (payload modeled by length).
+        len: u64,
+    },
+    /// One-sided read of a remote region (§3.2).
+    Read {
+        /// Connection id.
+        conn: u64,
+        /// Remote region id.
+        region: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read (must fit one MTU).
+        len: u32,
+    },
+    /// One-sided write of real bytes to a remote region.
+    Write {
+        /// Connection id.
+        conn: u64,
+        /// Remote region id.
+        region: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Data to write.
+        data: Vec<u8>,
+    },
+    /// Custom indirect read (one or a batch of indices, §3.2).
+    IndirectRead {
+        /// Connection id.
+        conn: u64,
+        /// Remote indirection-table region.
+        table: u64,
+        /// Indices to dereference (1..=16).
+        indices: Vec<u32>,
+        /// Bytes to read at each target.
+        len: u32,
+    },
+    /// Custom scan-and-read (§3.2).
+    ScanRead {
+        /// Connection id.
+        conn: u64,
+        /// Remote region to scan.
+        region: u64,
+        /// Key to match.
+        key: u64,
+        /// Bytes to read at the match target.
+        len: u32,
+    },
+    /// Post receive buffers for two-sided messages (receiver-driven
+    /// flow control, §3.3).
+    PostRecvBuffers {
+        /// Connection id.
+        conn: u64,
+        /// Number of buffers posted.
+        count: u32,
+    },
+}
+
+/// Operation completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Success.
+    Ok,
+    /// The remote region rejected the access.
+    RemoteAccessError,
+    /// Flow-control or protocol failure.
+    Error,
+}
+
+/// A completion written by the engine into the completion queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PonyCompletion {
+    /// An initiated operation finished.
+    OpDone {
+        /// The id returned by the submit call.
+        op: u64,
+        /// Outcome.
+        status: OpStatus,
+        /// Read data (empty for sends/writes).
+        data: Vec<u8>,
+        /// Time the command was accepted by the engine.
+        issued_at: Nanos,
+    },
+    /// A two-sided message arrived (delivered in order per stream).
+    RecvMsg {
+        /// Connection it arrived on.
+        conn: u64,
+        /// Stream id.
+        stream: u32,
+        /// Message id (per-stream sequence).
+        msg: u64,
+        /// Message length.
+        len: u64,
+    },
+}
+
+/// The application-side handle: submit commands, reap completions.
+pub struct PonyClient {
+    endpoint: AppEndpoint<(u64, PonyCommand), PonyCompletion>,
+    /// Wakes the engine after a submit (doorbell / eventfd path).
+    wake_engine: Rc<dyn Fn(&mut Sim)>,
+    next_op: u64,
+    completions: Vec<PonyCompletion>,
+}
+
+impl PonyClient {
+    /// Builds a client from the bootstrap products: the app endpoint of
+    /// the queue pair and the engine wake callback.
+    pub fn new(
+        endpoint: AppEndpoint<(u64, PonyCommand), PonyCompletion>,
+        wake_engine: Rc<dyn Fn(&mut Sim)>,
+    ) -> Self {
+        PonyClient {
+            endpoint,
+            wake_engine,
+            next_op: 1,
+            completions: Vec::new(),
+        }
+    }
+
+    /// Submits a command; returns the operation id its completion will
+    /// carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command queue is full (callers bound their
+    /// outstanding ops in all reproduced workloads).
+    pub fn submit(&mut self, sim: &mut Sim, cmd: PonyCommand) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.endpoint
+            .submit((op, cmd))
+            .unwrap_or_else(|_| panic!("command queue full (op {op})"));
+        (self.wake_engine)(sim);
+        op
+    }
+
+    /// Polls completions into the internal buffer; returns how many
+    /// arrived.
+    pub fn poll(&mut self) -> usize {
+        self.endpoint.poll_completions(&mut self.completions, 64)
+    }
+
+    /// Drains all pending completions.
+    pub fn take_completions(&mut self) -> Vec<PonyCompletion> {
+        while self.poll() > 0 {}
+        std::mem::take(&mut self.completions)
+    }
+
+    /// True if the completion doorbell rang since last checked.
+    pub fn notified(&self) -> bool {
+        self.endpoint.completion_doorbell.take()
+    }
+
+    /// Completions waiting in the queue (cheap check for spin loops).
+    pub fn completions_pending(&self) -> usize {
+        self.endpoint.completions_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_shm::queue_pair::QueuePair;
+    use std::cell::Cell;
+
+    #[test]
+    fn submit_assigns_op_ids_and_wakes() {
+        let (app, engine) = QueuePair::create(16);
+        let woke = Rc::new(Cell::new(0u32));
+        let w = woke.clone();
+        let mut client = PonyClient::new(app, Rc::new(move |_sim| w.set(w.get() + 1)));
+        let mut sim = Sim::new();
+        let op1 = client.submit(
+            &mut sim,
+            PonyCommand::Send {
+                conn: 1,
+                stream: 0,
+                len: 100,
+            },
+        );
+        let op2 = client.submit(
+            &mut sim,
+            PonyCommand::Read {
+                conn: 1,
+                region: 2,
+                offset: 0,
+                len: 64,
+            },
+        );
+        assert_ne!(op1, op2);
+        assert_eq!(woke.get(), 2);
+        let mut cmds = Vec::new();
+        assert_eq!(engine.poll_commands(&mut cmds, 16), 2);
+        assert_eq!(cmds[0].0, op1);
+    }
+
+    #[test]
+    fn completions_roundtrip() {
+        let (app, engine) = QueuePair::create(16);
+        let mut client = PonyClient::new(app, Rc::new(|_| {}));
+        engine
+            .complete(PonyCompletion::OpDone {
+                op: 9,
+                status: OpStatus::Ok,
+                data: vec![1, 2],
+                issued_at: Nanos(5),
+            })
+            .unwrap();
+        assert!(client.notified());
+        let got = client.take_completions();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            PonyCompletion::OpDone { op, status, data, .. } => {
+                assert_eq!(*op, 9);
+                assert_eq!(*status, OpStatus::Ok);
+                assert_eq!(data, &vec![1, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_count_without_drain() {
+        let (app, engine) = QueuePair::create(16);
+        let client = PonyClient::new(app, Rc::new(|_| {}));
+        engine
+            .complete(PonyCompletion::RecvMsg {
+                conn: 1,
+                stream: 0,
+                msg: 0,
+                len: 10,
+            })
+            .unwrap();
+        assert_eq!(client.completions_pending(), 1);
+    }
+}

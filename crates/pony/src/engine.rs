@@ -1,0 +1,1470 @@
+//! The Pony Express engine (§3.1).
+//!
+//! "A Pony Express engine services incoming packets, interacts with
+//! applications, runs state machines to advance messaging and one-sided
+//! operations, and generates outgoing packets. ... This just-in-time
+//! generation of packets based on slot availability ensures we generate
+//! packets only when the NIC can transmit them."
+//!
+//! The engine implements [`snap_core::Engine`]: a bounded pass polls
+//! the NIC rx ring (default 16-packet batch), polls application command
+//! queues, advances op state machines, and produces packets while NIC
+//! tx slots and Timely pacing allow. All state lives inside the engine
+//! (single-threaded, no locks); control reaches it through the group
+//! mailbox; applications reach it through shared-memory queue pairs.
+//!
+//! Upgrade support: [`snap_core::Engine::serialize_state`] checkpoints
+//! connections, flows (including queued and unacked frames), send/recv
+//! message state and pending one-sided ops into the codec format;
+//! [`PonyEngine::restore`] rebuilds a new-version engine from that
+//! snapshot plus the re-injected runtime handles (fabric, regions,
+//! session table) — mirroring how the real Snap transfers fds and
+//! shared memory in brownout and state in blackout (§4).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use snap_core::engine::{Engine, RunReport};
+use snap_nic::fabric::FabricHandle;
+use snap_nic::packet::{HostId, Packet, QosClass};
+use snap_shm::queue_pair::EngineEndpoint;
+use snap_shm::region::{RegionError, RegionRegistry};
+use snap_sim::codec::{Reader, Writer};
+use snap_sim::costs;
+use snap_sim::{Nanos, Sim};
+
+use crate::client::{OpStatus, PonyCommand, PonyCompletion};
+use crate::flow::{Accept, Flow, FlowMapper};
+use crate::timely::TimelyConfig;
+use crate::wire::{OpFrame, PonyPacket};
+
+/// Messages at or below this size use the shared credit pool instead of
+/// posted buffers (§3.3).
+pub const SMALL_MSG_BYTES: u64 = 4096;
+
+/// Initial small-message credits per connection.
+pub const INITIAL_CREDITS: u32 = 64;
+
+/// Shared table of application sessions (command/completion queue
+/// endpoints). Lives outside the engine so transparent upgrades can
+/// hand the same sessions to the successor engine — the analogue of
+/// transferring fds over the control channel during brownout.
+pub type SessionTable =
+    Rc<RefCell<HashMap<u64, EngineEndpoint<(u64, PonyCommand), PonyCompletion>>>>;
+
+/// Static engine configuration.
+#[derive(Debug, Clone)]
+pub struct PonyEngineConfig {
+    /// Engine name.
+    pub name: String,
+    /// Host this engine runs on.
+    pub host: HostId,
+    /// Unique engine key: NIC receive filters steer on it.
+    pub engine_key: u64,
+    /// The NIC rx/tx queue this engine owns.
+    pub queue: u16,
+    /// MTU for chunking messages.
+    pub mtu: u32,
+    /// NIC rx polling batch (§3.1 default: 16).
+    pub poll_batch: usize,
+    /// Offload receive copies to the I/OAT engine (Table 1).
+    pub use_ioat: bool,
+    /// Congestion-control parameters.
+    pub cc: TimelyConfig,
+    /// Application container charged for this engine's CPU.
+    pub container: String,
+}
+
+impl PonyEngineConfig {
+    /// A reasonable default configuration for `host`/`engine_key`.
+    pub fn new(name: impl Into<String>, host: HostId, engine_key: u64) -> Self {
+        PonyEngineConfig {
+            name: name.into(),
+            host,
+            engine_key,
+            queue: 0,
+            mtu: costs::PONY_DEFAULT_MTU,
+            poll_batch: costs::DEFAULT_POLL_BATCH,
+            use_ioat: false,
+            cc: TimelyConfig::default(),
+            container: "pony".to_string(),
+        }
+    }
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Default)]
+pub struct PonyStats {
+    /// Packets received and processed.
+    pub rx_packets: u64,
+    /// Packets transmitted (incl. retransmits and acks).
+    pub tx_packets: u64,
+    /// Application commands admitted.
+    pub commands: u64,
+    /// One-sided operations served for remote initiators.
+    pub onesided_served: u64,
+    /// Two-sided messages fully delivered to local applications.
+    pub msgs_delivered: u64,
+    /// Operations completed for local initiators.
+    pub ops_completed: u64,
+    /// Completions dropped because a session queue was full or gone.
+    pub completions_dropped: u64,
+}
+
+struct ConnState {
+    id: u64,
+    flow: u64,
+    remote_host: HostId,
+    remote_engine: u64,
+    /// Local session receiving completions for this connection.
+    session: Option<u64>,
+    /// Our view of the peer's posted receive buffers (large messages).
+    remote_posted: u32,
+    /// Buffers the local app has posted.
+    local_posted: u32,
+    /// Small-message credits available to us as a sender.
+    small_credits: u32,
+    /// Sends held back by flow control: (op, stream, len).
+    held: VecDeque<(u64, u32, u64)>,
+    /// Streams with admitted sends outstanding, serviced round-robin
+    /// so streams do not head-of-line block each other (§3.3).
+    stream_queue: VecDeque<u32>,
+    /// Per-stream FIFO of admitted message ids (messages within one
+    /// stream are ordered, so they proceed strictly in order).
+    per_stream: HashMap<u32, VecDeque<u64>>,
+    /// Next message id per stream (sender side).
+    next_msg: HashMap<u32, u64>,
+    /// Next message to deliver per stream (receiver side, in-order).
+    next_deliver: HashMap<u32, u64>,
+    /// Completed but not yet deliverable messages: (stream, msg) -> len.
+    ready: HashMap<(u32, u64), u64>,
+}
+
+struct SendMsg {
+    op: u64,
+    session: Option<u64>,
+    total: u64,
+    chunks: u32,
+    acked_offsets: HashSet<u64>,
+    issued_at: Nanos,
+    /// Next chunk offset to enqueue; the send scheduler advances this
+    /// one chunk at a time, interleaving streams.
+    next_offset: u64,
+}
+
+struct RecvMsg {
+    total: u64,
+    received: u64,
+    offsets: HashSet<u64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum OpKind {
+    Send,
+    Read,
+    Write,
+    IndirectRead,
+    ScanRead,
+}
+
+struct PendingOp {
+    kind: OpKind,
+    conn: u64,
+    session: Option<u64>,
+    issued_at: Nanos,
+}
+
+/// The Pony Express engine.
+pub struct PonyEngine {
+    cfg: PonyEngineConfig,
+    fabric: FabricHandle,
+    regions: RegionRegistry,
+    sessions: SessionTable,
+    mapper: FlowMapper,
+    flows: HashMap<u64, Flow>,
+    /// Flow id -> (remote host, remote engine key).
+    flow_peers: HashMap<u64, (HostId, u64)>,
+    conns: HashMap<u64, ConnState>,
+    /// In-flight chunk tracking: flow seq -> (conn, stream, msg, offset).
+    seq_chunks: HashMap<(u64, u64), (u64, u32, u64, u64)>,
+    send_msgs: HashMap<(u64, u32, u64), SendMsg>,
+    recv_msgs: HashMap<(u64, u32, u64), RecvMsg>,
+    pending_ops: HashMap<u64, PendingOp>,
+    /// Sessions bootstrapped against THIS engine; the shared table may
+    /// hold other engines' sessions too.
+    owned_sessions: Vec<u64>,
+    stats: PonyStats,
+    /// Wake callback for self-arming timers (pacing/RTO); set by the
+    /// module after registration.
+    wake: Option<Rc<dyn Fn(&mut Sim)>>,
+    timer: Option<(Nanos, snap_sim::EventHandle)>,
+    rx_buf: Vec<Packet>,
+    cmd_buf: Vec<(u64, PonyCommand)>,
+    detached: bool,
+}
+
+impl PonyEngine {
+    /// Creates an engine and attaches its NIC receive filter.
+    pub fn new(
+        cfg: PonyEngineConfig,
+        fabric: FabricHandle,
+        regions: RegionRegistry,
+        sessions: SessionTable,
+    ) -> Self {
+        fabric.with_nic(cfg.host, |nic| {
+            nic.attach_filter(cfg.engine_key, cfg.queue);
+            nic.arm_irq(cfg.queue, true);
+        });
+        let uid = (cfg.engine_key & 0xFFFF_FFFF) as u32;
+        PonyEngine {
+            mapper: FlowMapper::new(uid),
+            cfg,
+            fabric,
+            regions,
+            sessions,
+            flows: HashMap::new(),
+            flow_peers: HashMap::new(),
+            conns: HashMap::new(),
+            seq_chunks: HashMap::new(),
+            send_msgs: HashMap::new(),
+            recv_msgs: HashMap::new(),
+            pending_ops: HashMap::new(),
+            owned_sessions: Vec::new(),
+            stats: PonyStats::default(),
+            wake: None,
+            timer: None,
+            rx_buf: Vec::new(),
+            cmd_buf: Vec::new(),
+            detached: false,
+        }
+    }
+
+    /// Installs the wake callback used for pacing/RTO timers.
+    pub fn set_wake(&mut self, wake: Rc<dyn Fn(&mut Sim)>) {
+        self.wake = Some(wake);
+    }
+
+    /// Claims a session: this engine will poll its command queue.
+    pub fn add_session(&mut self, sid: u64) {
+        if !self.owned_sessions.contains(&sid) {
+            self.owned_sessions.push(sid);
+        }
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &PonyStats {
+        &self.stats
+    }
+
+    /// Debug: (first flow's Timely rate B/s, total retransmits, inflight).
+    pub fn debug_flow_info(&self) -> (f64, u64, usize) {
+        let mut rate = 0.0;
+        let mut samples = 0;
+        let mut infl = 0;
+        let mut best = 0;
+        for f in self.flows.values() {
+            if f.cc().samples >= best {
+                best = f.cc().samples;
+                rate = f.cc().rate();
+            }
+            samples += f.cc().samples;
+            infl += f.inflight();
+        }
+        (rate, samples, infl)
+    }
+
+    /// Debug: (min RTT, last RTT) of the first flow.
+    pub fn debug_rtt(&self) -> (Nanos, Nanos) {
+        self.flows
+            .values()
+            .max_by_key(|f| f.cc().samples)
+            .map(|f| {
+                eprintln!("  cc events (inc,grad-dec,hard-dec,loss): {:?}", f.cc().events);
+                (f.cc().min_rtt(), f.cc().last_rtt)
+            })
+            .unwrap_or((Nanos::ZERO, Nanos::ZERO))
+    }
+
+    /// Debug: (sent, retransmits, delivered, duplicates) of the most
+    /// active flow.
+    pub fn debug_flow_stats(&self) -> (u64, u64, u64, u64) {
+        self.flows
+            .values()
+            .max_by_key(|f| f.cc().samples)
+            .map(|f| {
+                let s = f.stats();
+                (s.sent, s.retransmits, s.delivered, s.duplicates)
+            })
+            .unwrap_or((0, 0, 0, 0))
+    }
+
+    /// Connection count (diagnostics).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Establishes a connection created by the control plane (the Pony
+    /// module calls this through the engine mailbox on both endpoints).
+    pub fn establish_conn(
+        &mut self,
+        conn: u64,
+        remote_host: HostId,
+        remote_engine: u64,
+        version: u16,
+        session: Option<u64>,
+    ) {
+        let (flow, fresh) = self.mapper.flow_for(remote_host, remote_engine);
+        if fresh {
+            self.flows
+                .insert(flow, Flow::new(flow, version, self.cfg.cc.clone()));
+            self.flow_peers.insert(flow, (remote_host, remote_engine));
+        }
+        self.conns.insert(
+            conn,
+            ConnState {
+                id: conn,
+                flow,
+                remote_host,
+                remote_engine,
+                session,
+                remote_posted: 0,
+                local_posted: 0,
+                small_credits: INITIAL_CREDITS,
+                held: VecDeque::new(),
+                stream_queue: VecDeque::new(),
+                per_stream: HashMap::new(),
+                next_msg: HashMap::new(),
+                next_deliver: HashMap::new(),
+                ready: HashMap::new(),
+            },
+        );
+    }
+
+    fn complete(&mut self, session: Option<u64>, completion: PonyCompletion) {
+        let Some(sid) = session else {
+            return;
+        };
+        let sessions = self.sessions.borrow();
+        let delivered = sessions
+            .get(&sid)
+            .map(|endpoint| endpoint.complete(completion).is_ok())
+            .unwrap_or(false);
+        if !delivered {
+            // Completion-queue overflow drops the completion; bounded
+            // queues are part of the contract and callers size their
+            // outstanding-op windows accordingly. The counter makes
+            // sizing mistakes loud.
+            self.stats.completions_dropped += 1;
+        }
+    }
+
+    /// Admits a Send command, applying flow control (§3.3): small
+    /// messages consume shared credits, large ones posted buffers.
+    fn admit_send(&mut self, now: Nanos, op: u64, session: Option<u64>, conn_id: u64, stream: u32, len: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            self.complete(
+                session,
+                PonyCompletion::OpDone {
+                    op,
+                    status: OpStatus::Error,
+                    data: vec![],
+                    issued_at: now,
+                },
+            );
+            return;
+        };
+        let admitted = if len <= SMALL_MSG_BYTES {
+            if conn.small_credits > 0 {
+                conn.small_credits -= 1;
+                true
+            } else {
+                false
+            }
+        } else if conn.remote_posted > 0 {
+            conn.remote_posted -= 1;
+            true
+        } else {
+            false
+        };
+        if !admitted {
+            conn.held.push_back((op, stream, len));
+            return;
+        }
+        self.start_send(now, op, session, conn_id, stream, len);
+    }
+
+    fn start_send(&mut self, now: Nanos, op: u64, session: Option<u64>, conn_id: u64, stream: u32, len: u64) {
+        let mtu = self.cfg.mtu as u64;
+        let conn = self.conns.get_mut(&conn_id).expect("admitted conn exists");
+        let msg = *conn
+            .next_msg
+            .entry(stream)
+            .and_modify(|m| *m += 1)
+            .or_insert(0);
+        let chunks = len.div_ceil(mtu) as u32;
+        self.send_msgs.insert(
+            (conn_id, stream, msg),
+            SendMsg {
+                op,
+                session,
+                total: len,
+                chunks,
+                acked_offsets: HashSet::new(),
+                issued_at: now,
+                next_offset: 0,
+            },
+        );
+        // Chunks are enqueued lazily by the round-robin send scheduler
+        // (fill_flows), so a large message cannot monopolize the flow.
+        let q = conn.per_stream.entry(stream).or_default();
+        q.push_back(msg);
+        if q.len() == 1 && !conn.stream_queue.contains(&stream) {
+            conn.stream_queue.push_back(stream);
+        }
+    }
+
+    /// The send scheduler: tops up each flow's outbound queue from its
+    /// connections' pending sends — one chunk per *stream* per round,
+    /// FIFO within a stream — so concurrent streams interleave without
+    /// head-of-line blocking each other (§3.3).
+    fn fill_flows(&mut self, now: Nanos) {
+        const OUTQ_TARGET: usize = 64;
+        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn_id in conn_ids {
+            loop {
+                let Some(conn) = self.conns.get_mut(&conn_id) else { break };
+                if conn.stream_queue.is_empty() {
+                    break;
+                }
+                let flow_id = conn.flow;
+                if self
+                    .flows
+                    .get(&flow_id)
+                    .map(|f| f.pending_tx() >= OUTQ_TARGET)
+                    .unwrap_or(true)
+                {
+                    break;
+                }
+                let stream = conn.stream_queue.pop_front().expect("non-empty");
+                let Some(msgs) = conn.per_stream.get_mut(&stream) else { continue };
+                let Some(&msg) = msgs.front() else {
+                    conn.per_stream.remove(&stream);
+                    continue;
+                };
+                let mtu = self.cfg.mtu as u64;
+                let Some(send) = self.send_msgs.get_mut(&(conn_id, stream, msg)) else {
+                    msgs.pop_front();
+                    if !msgs.is_empty() {
+                        conn.stream_queue.push_back(stream);
+                    }
+                    continue;
+                };
+                let offset = send.next_offset;
+                let chunk = (send.total - offset).min(mtu) as u32;
+                send.next_offset += chunk as u64;
+                let finished = send.next_offset >= send.total;
+                let total = send.total;
+                self.flows
+                    .get_mut(&flow_id)
+                    .expect("conn flow exists")
+                    .enqueue(
+                        OpFrame::MsgChunk {
+                            conn: conn_id,
+                            stream,
+                            msg,
+                            offset,
+                            total,
+                            len: chunk,
+                        },
+                        now,
+                    );
+                let conn = self.conns.get_mut(&conn_id).expect("still exists");
+                let msgs = conn.per_stream.get_mut(&stream).expect("still exists");
+                if finished {
+                    msgs.pop_front();
+                }
+                if msgs.is_empty() {
+                    conn.per_stream.remove(&stream);
+                } else {
+                    // Back of the round-robin: other streams get a turn.
+                    conn.stream_queue.push_back(stream);
+                }
+            }
+        }
+    }
+
+    /// Retries held sends after flow-control state improved.
+    fn retry_held(&mut self, now: Nanos, conn_id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+            let Some(&(op, stream, len)) = conn.held.front() else { return };
+            let ok = if len <= SMALL_MSG_BYTES {
+                if conn.small_credits > 0 {
+                    conn.small_credits -= 1;
+                    true
+                } else {
+                    false
+                }
+            } else if conn.remote_posted > 0 {
+                conn.remote_posted -= 1;
+                true
+            } else {
+                false
+            };
+            if !ok {
+                return;
+            }
+            let session = conn.session;
+            conn.held.pop_front();
+            self.start_send(now, op, session, conn_id, stream, len);
+        }
+    }
+
+    /// Handles an application command; returns the CPU charged.
+    fn handle_command(&mut self, now: Nanos, op: u64, cmd: PonyCommand, session: u64) -> Nanos {
+        self.stats.commands += 1;
+        let session = Some(session);
+        match cmd {
+            PonyCommand::Send { conn, stream, len } => {
+                self.admit_send(now, op, session, conn, stream, len);
+            }
+            PonyCommand::Read {
+                conn,
+                region,
+                offset,
+                len,
+            } => {
+                self.initiate(now, op, session, conn, OpKind::Read, OpFrame::ReadReq {
+                    op,
+                    region,
+                    offset,
+                    len,
+                });
+            }
+            PonyCommand::Write {
+                conn,
+                region,
+                offset,
+                data,
+            } => {
+                self.initiate(now, op, session, conn, OpKind::Write, OpFrame::WriteReq {
+                    op,
+                    region,
+                    offset,
+                    data,
+                });
+            }
+            PonyCommand::IndirectRead {
+                conn,
+                table,
+                indices,
+                len,
+            } => {
+                self.initiate(
+                    now,
+                    op,
+                    session,
+                    conn,
+                    OpKind::IndirectRead,
+                    OpFrame::IndirectReadReq {
+                        op,
+                        table,
+                        indices,
+                        len,
+                    },
+                );
+            }
+            PonyCommand::ScanRead {
+                conn,
+                region,
+                key,
+                len,
+            } => {
+                self.initiate(now, op, session, conn, OpKind::ScanRead, OpFrame::ScanReadReq {
+                    op,
+                    region,
+                    key,
+                    len,
+                });
+            }
+            PonyCommand::PostRecvBuffers { conn, count } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.local_posted += count;
+                    let flow_id = c.flow;
+                    if let Some(flow) = self.flows.get_mut(&flow_id) {
+                        flow.enqueue(OpFrame::BufferPost { conn, count }, now);
+                    }
+                }
+                // Buffer posts complete immediately.
+                self.complete(
+                    session,
+                    PonyCompletion::OpDone {
+                        op,
+                        status: OpStatus::Ok,
+                        data: vec![],
+                        issued_at: now,
+                    },
+                );
+            }
+        }
+        Nanos(costs::PONY_PER_OP_NS)
+    }
+
+    fn initiate(
+        &mut self,
+        now: Nanos,
+        op: u64,
+        session: Option<u64>,
+        conn_id: u64,
+        kind: OpKind,
+        frame: OpFrame,
+    ) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            self.complete(
+                session,
+                PonyCompletion::OpDone {
+                    op,
+                    status: OpStatus::Error,
+                    data: vec![],
+                    issued_at: now,
+                },
+            );
+            return;
+        };
+        let flow_id = conn.flow;
+        self.pending_ops.insert(
+            op,
+            PendingOp {
+                kind,
+                conn: conn_id,
+                session,
+                issued_at: now,
+            },
+        );
+        self.flows
+            .get_mut(&flow_id)
+            .expect("conn flow exists")
+            .enqueue(frame, now);
+    }
+
+    /// Executes a one-sided request against local regions, entirely in
+    /// the engine (§3.2: "one-sided operations do not involve any
+    /// application code on the destination"). Returns the CPU charged.
+    fn serve_onesided(&mut self, now: Nanos, flow_id: u64, frame: OpFrame) -> Nanos {
+        let mut cpu = Nanos(costs::PONY_ONESIDED_READ_NS);
+        let (op, status, data) = match frame {
+            OpFrame::ReadReq {
+                op,
+                region,
+                offset,
+                len,
+            } => match self.regions.read(snap_shm::region::RegionId(region), offset as usize, len as usize) {
+                Ok(d) => (op, 0u8, d),
+                Err(_) => (op, 1u8, vec![]),
+            },
+            OpFrame::WriteReq {
+                op,
+                region,
+                offset,
+                data,
+            } => {
+                let status = match self.regions.write(
+                    snap_shm::region::RegionId(region),
+                    offset as usize,
+                    &data,
+                ) {
+                    Ok(()) => 0u8,
+                    Err(_) => 1u8,
+                };
+                (op, status, vec![])
+            }
+            OpFrame::IndirectReadReq {
+                op,
+                table,
+                indices,
+                len,
+            } => {
+                cpu += Nanos(costs::PONY_INDIRECTION_NS) * indices.len() as u64;
+                let mut out = Vec::with_capacity(indices.len() * len as usize);
+                let mut status = 0u8;
+                for idx in &indices {
+                    match self.indirect_target(table, *idx) {
+                        Ok((region, offset)) => {
+                            match self.regions.read(region, offset, len as usize) {
+                                Ok(mut d) => out.append(&mut d),
+                                Err(_) => {
+                                    status = 1;
+                                    break;
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            status = 1;
+                            break;
+                        }
+                    }
+                }
+                (op, status, if status == 0 { out } else { vec![] })
+            }
+            OpFrame::ScanReadReq {
+                op,
+                region,
+                key,
+                len,
+            } => {
+                // Scan a small region of 16-byte (key, target) entries.
+                let found = self
+                    .regions
+                    .with_data(snap_shm::region::RegionId(region), |data| {
+                        let entries = data.len() / 16;
+                        cpu += Nanos(5) * entries as u64;
+                        for i in 0..entries {
+                            let k = u64::from_le_bytes(
+                                data[i * 16..i * 16 + 8].try_into().expect("8 bytes"),
+                            );
+                            if k == key {
+                                let target = u64::from_le_bytes(
+                                    data[i * 16 + 8..i * 16 + 16].try_into().expect("8 bytes"),
+                                );
+                                return Some(target);
+                            }
+                        }
+                        None
+                    });
+                match found {
+                    Ok(Some(target)) => {
+                        let region = snap_shm::region::RegionId(target >> 32);
+                        let offset = (target & 0xFFFF_FFFF) as usize;
+                        match self.regions.read(region, offset, len as usize) {
+                            Ok(d) => (op, 0u8, d),
+                            Err(_) => (op, 1u8, vec![]),
+                        }
+                    }
+                    Ok(None) => (op, 1u8, vec![]),
+                    Err(_) => (op, 1u8, vec![]),
+                }
+            }
+            _ => unreachable!("serve_onesided called with non-request frame"),
+        };
+        self.stats.onesided_served += 1;
+        self.flows
+            .get_mut(&flow_id)
+            .expect("request came from this flow")
+            .enqueue(OpFrame::OneSidedResp { op, status, data }, now);
+        cpu
+    }
+
+    fn indirect_target(&self, table: u64, index: u32) -> Result<(snap_shm::region::RegionId, usize), RegionError> {
+        let packed = self
+            .regions
+            .read_u64(snap_shm::region::RegionId(table), index as usize * 8)?;
+        Ok((
+            snap_shm::region::RegionId(packed >> 32),
+            (packed & 0xFFFF_FFFF) as usize,
+        ))
+    }
+
+    /// Handles a frame delivered by the flow layer; returns CPU charged.
+    fn handle_frame(&mut self, now: Nanos, flow_id: u64, frame: OpFrame) -> Nanos {
+        match frame {
+            OpFrame::MsgChunk {
+                conn,
+                stream,
+                msg,
+                offset,
+                total,
+                len,
+            } => {
+                // Receive copy: inline (per-byte) or offloaded (I/OAT).
+                let copy = if self.cfg.use_ioat {
+                    Nanos(costs::IOAT_SETUP_NS)
+                } else {
+                    costs::copy_cost(len as u64)
+                };
+                let entry = self
+                    .recv_msgs
+                    .entry((conn, stream, msg))
+                    .or_insert(RecvMsg {
+                        total,
+                        received: 0,
+                        offsets: HashSet::new(),
+                    });
+                if entry.offsets.insert(offset) {
+                    entry.received += len as u64;
+                }
+                if entry.received >= entry.total {
+                    self.recv_msgs.remove(&(conn, stream, msg));
+                    self.msg_complete(conn, stream, msg, total);
+                }
+                copy
+            }
+            OpFrame::BufferPost { conn, count } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.remote_posted += count;
+                }
+                self.retry_held(now, conn);
+                Nanos(50)
+            }
+            OpFrame::OneSidedResp { op, status, data } => {
+                let copy = if self.cfg.use_ioat {
+                    Nanos(costs::IOAT_SETUP_NS)
+                } else {
+                    costs::copy_cost(data.len() as u64)
+                };
+                if let Some(pending) = self.pending_ops.remove(&op) {
+                    self.stats.ops_completed += 1;
+                    self.complete(
+                        pending.session,
+                        PonyCompletion::OpDone {
+                            op,
+                            status: if status == 0 {
+                                OpStatus::Ok
+                            } else {
+                                OpStatus::RemoteAccessError
+                            },
+                            data,
+                            issued_at: pending.issued_at,
+                        },
+                    );
+                }
+                copy
+            }
+            req @ (OpFrame::ReadReq { .. }
+            | OpFrame::WriteReq { .. }
+            | OpFrame::IndirectReadReq { .. }
+            | OpFrame::ScanReadReq { .. }) => self.serve_onesided(now, flow_id, req),
+            OpFrame::AckOnly => Nanos::ZERO,
+        }
+    }
+
+    /// A fully reassembled message: deliver in per-stream order.
+    fn msg_complete(&mut self, conn_id: u64, stream: u32, msg: u64, total: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        conn.ready.insert((stream, msg), total);
+        let mut deliveries = Vec::new();
+        let next = conn.next_deliver.entry(stream).or_insert(0);
+        while let Some(len) = conn.ready.remove(&(stream, *next)) {
+            deliveries.push((conn_id, stream, *next, len));
+            *next += 1;
+            if len > SMALL_MSG_BYTES {
+                conn.local_posted = conn.local_posted.saturating_sub(1);
+            }
+        }
+        let session = conn.session;
+        for (conn, stream, msg, len) in deliveries {
+            self.stats.msgs_delivered += 1;
+            self.complete(
+                session,
+                PonyCompletion::RecvMsg {
+                    conn,
+                    stream,
+                    msg,
+                    len,
+                },
+            );
+        }
+    }
+
+    /// Processes seqs newly acked by the peer: completes sends whose
+    /// chunks are all acknowledged, returning small-message credits.
+    fn process_acked(&mut self, acked: Vec<u64>, flow_id: u64) {
+        for seq in acked {
+            let Some((conn, stream, msg, offset)) = self.seq_chunks.remove(&(flow_id, seq))
+            else {
+                continue;
+            };
+            let Some(send) = self.send_msgs.get_mut(&(conn, stream, msg)) else {
+                continue;
+            };
+            send.acked_offsets.insert(offset);
+            if send.next_offset >= send.total && send.acked_offsets.len() as u32 >= send.chunks {
+                let send = self
+                    .send_msgs
+                    .remove(&(conn, stream, msg))
+                    .expect("just looked up");
+                self.stats.ops_completed += 1;
+                if send.total <= SMALL_MSG_BYTES {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.small_credits += 1;
+                    }
+                    self.retry_held(send.issued_at, conn);
+                }
+                self.complete(
+                    send.session,
+                    PonyCompletion::OpDone {
+                        op: send.op,
+                        status: OpStatus::Ok,
+                        data: vec![],
+                        issued_at: send.issued_at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Just-in-time packet generation: drain flows while tx descriptor
+    /// slots and pacing allow (§3.1).
+    fn generate_packets(&mut self, sim: &mut Sim) -> (Nanos, usize) {
+        let now = sim.now();
+        let mut cpu = Nanos::ZERO;
+        let mut sent = 0;
+        let budget = self.cfg.poll_batch * 2;
+        let flow_ids: Vec<u64> = self.flows.keys().copied().collect();
+        'outer: for fid in flow_ids {
+            loop {
+                if sent >= budget {
+                    break 'outer;
+                }
+                let slots =
+                    self.fabric.with_nic(self.cfg.host, |nic| nic.tx_slots_available(self.cfg.queue));
+                if slots == 0 {
+                    break 'outer;
+                }
+                let flow = self.flows.get_mut(&fid).expect("listed");
+                let Some(pkt) = flow.produce(now) else { break };
+                // Track chunk seqs for send-completion accounting.
+                if let OpFrame::MsgChunk {
+                    conn,
+                    stream,
+                    msg,
+                    offset,
+                    ..
+                } = pkt.frame
+                {
+                    self.seq_chunks
+                        .insert((fid, pkt.seq), (conn, stream, msg, offset));
+                }
+                let (remote_host, _remote_engine_key) =
+                    *self.flow_peers.get(&fid).expect("flow has peer");
+                let remote_engine_key = self.flow_peers[&fid].1;
+                let wire_payload = pkt.encode();
+                let mut nic_pkt = Packet::new(self.cfg.host, remote_host, Bytes::from(wire_payload));
+                nic_pkt.wire_size = pkt.wire_size() + Packet::HEADER_OVERHEAD;
+                nic_pkt = nic_pkt
+                    .with_qos(QosClass::Transport)
+                    .with_steer_key(remote_engine_key)
+                    .with_rss_hash(fid);
+                match self.fabric.transmit(sim, self.cfg.queue, nic_pkt) {
+                    Ok(()) => {
+                        cpu += Nanos(costs::PONY_PER_PACKET_NS);
+                        self.stats.tx_packets += 1;
+                        sent += 1;
+                    }
+                    Err(_) => break 'outer,
+                }
+            }
+        }
+        (cpu, sent)
+    }
+
+    /// Earliest pacing/RTO deadline across flows.
+    fn earliest_deadline(&self, now: Nanos) -> Option<Nanos> {
+        let mut earliest: Option<Nanos> = None;
+        for flow in self.flows.values() {
+            if let Some(d) = flow.next_pacing_deadline(now) {
+                earliest = Some(earliest.map_or(d, |e: Nanos| e.min(d)));
+            }
+            if let Some(d) = flow.next_rto_deadline() {
+                earliest = Some(earliest.map_or(d, |e: Nanos| e.min(d)));
+            }
+        }
+        earliest
+    }
+
+    /// Arms a timer at the earliest pacing/RTO deadline across flows.
+    fn arm_timer(&mut self, sim: &mut Sim) {
+        let now = sim.now();
+        let Some(deadline) = self.earliest_deadline(now) else { return };
+        let deadline = deadline.max(now + Nanos(1));
+        if let Some((at, handle)) = &self.timer {
+            if *at <= deadline {
+                return; // an earlier-or-equal timer is already armed
+            }
+            handle.cancel();
+        }
+        let Some(wake) = self.wake.clone() else { return };
+        let handle = sim.schedule_cancellable_at(deadline, move |sim| wake(sim));
+        self.timer = Some((deadline, handle));
+    }
+}
+
+impl Engine for PonyEngine {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn run(&mut self, sim: &mut Sim) -> RunReport {
+        let now = sim.now();
+        let mut cpu = Nanos(costs::ENGINE_POLL_PASS_NS);
+        let mut work = false;
+        if let Some((at, _)) = &self.timer {
+            if *at <= now {
+                self.timer = None;
+            }
+        }
+
+        // 1. Poll NIC rx (bounded batch, §3.1).
+        self.rx_buf.clear();
+        let batch = self.cfg.poll_batch;
+        let (host, queue) = (self.cfg.host, self.cfg.queue);
+        let mut rx = std::mem::take(&mut self.rx_buf);
+        self.fabric.with_nic(host, |nic| {
+            nic.poll_rx(queue, batch, &mut rx);
+        });
+        for pkt in rx.drain(..) {
+            work = true;
+            self.stats.rx_packets += 1;
+            cpu += Nanos(costs::PONY_PER_PACKET_NS);
+            let Ok(ppkt) = PonyPacket::decode(&pkt.payload) else {
+                continue;
+            };
+            let flow_id = ppkt.flow;
+            // Remote-initiated flows materialize on first packet; the
+            // peer's engine key is recoverable from the steering info.
+            if !self.flows.contains_key(&flow_id) {
+                self.flows.insert(
+                    flow_id,
+                    Flow::new(flow_id, ppkt.version, self.cfg.cc.clone()),
+                );
+                // The reverse path steers by the *source* engine key,
+                // which the wire protocol encodes in the flow id's high
+                // bits (FlowMapper layout).
+                self.flow_peers.insert(flow_id, (pkt.src, flow_id >> 32));
+            }
+            let flow = self.flows.get_mut(&flow_id).expect("just ensured");
+            let (accept, acked) = flow.on_packet_tracked(&ppkt, now);
+            self.process_acked(acked, flow_id);
+            if let Accept::Deliver(frame) = accept {
+                cpu += self.handle_frame(now, flow_id, frame);
+            }
+        }
+        self.rx_buf = rx;
+
+        // 2. Poll this engine's application command queues (bounded
+        // batch). Other engines' sessions live in the same table but
+        // are not ours to drain.
+        let session_ids = self.owned_sessions.clone();
+        for sid in session_ids {
+            self.cmd_buf.clear();
+            let mut cmds = std::mem::take(&mut self.cmd_buf);
+            {
+                let sessions = self.sessions.borrow();
+                if let Some(ep) = sessions.get(&sid) {
+                    ep.poll_commands(&mut cmds, self.cfg.poll_batch);
+                }
+            }
+            for (op, cmd) in cmds.drain(..) {
+                work = true;
+                cpu += self.handle_command(now, op, cmd, sid);
+            }
+            self.cmd_buf = cmds;
+        }
+
+        // 3. RTO checks.
+        for flow in self.flows.values_mut() {
+            if flow.check_rto(now) > 0 {
+                work = true;
+            }
+        }
+
+        // 4. Send scheduler + just-in-time packet generation.
+        self.fill_flows(now);
+        let (tx_cpu, sent) = self.generate_packets(sim);
+        cpu += tx_cpu;
+        work |= sent > 0;
+
+        // 5. Arm pacing/RTO timers for future work.
+        self.arm_timer(sim);
+
+        // Report only *actionable* work: frames held back by pacing or
+        // RTO wait on their timers and must not busy-loop the worker
+        // (the armed timer wakes us; rx/commands/sendable frames do
+        // warrant an immediate next pass).
+        let now = sim.now();
+        let rx = self
+            .fabric
+            .with_nic(self.cfg.host, |nic| nic.rx_pending(self.cfg.queue));
+        let cmds: usize = {
+            let table = self.sessions.borrow();
+            self.owned_sessions
+                .iter()
+                .filter_map(|sid| table.get(sid))
+                .map(|ep| ep.commands_pending())
+                .sum()
+        };
+        let sendable: usize = self
+            .flows
+            .values()
+            .filter(|f| matches!(f.next_pacing_deadline(now), Some(d) if d <= now))
+            .map(|f| f.pending_tx())
+            .sum();
+        let next_deadline = self.earliest_deadline(now);
+        RunReport {
+            cpu,
+            work_done: work,
+            pending: rx + cmds + sendable,
+            next_deadline,
+        }
+    }
+
+    fn pending_work(&self) -> usize {
+        let rx = self.fabric.with_nic(self.cfg.host, |nic| nic.rx_pending(self.cfg.queue));
+        let tx: usize = self.flows.values().map(|f| f.pending_tx()).sum();
+        let sends: usize = self
+            .conns
+            .values()
+            .flat_map(|c| c.per_stream.values())
+            .map(|q| q.len())
+            .sum();
+        let table = self.sessions.borrow();
+        let cmds: usize = self
+            .owned_sessions
+            .iter()
+            .filter_map(|sid| table.get(sid))
+            .map(|ep| ep.commands_pending())
+            .sum();
+        rx + tx + sends + cmds
+    }
+
+    fn oldest_pending_age(&self, now: Nanos) -> Nanos {
+        self.flows
+            .values()
+            .map(|f| f.oldest_pending_age(now))
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    fn serialize_state(&mut self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(4096);
+        w.string(&self.cfg.name);
+        w.u32(self.owned_sessions.len() as u32);
+        for sid in &self.owned_sessions {
+            w.u64(*sid);
+        }
+        // Connections.
+        w.u32(self.conns.len() as u32);
+        let mut conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        conn_ids.sort_unstable();
+        for id in conn_ids {
+            let c = &self.conns[&id];
+            w.u64(c.id)
+                .u64(c.flow)
+                .u32(c.remote_host)
+                .u64(c.remote_engine)
+                .bool(c.session.is_some())
+                .u64(c.session.unwrap_or(0))
+                .u32(c.remote_posted)
+                .u32(c.local_posted)
+                .u32(c.small_credits);
+            w.u32(c.held.len() as u32);
+            for (op, stream, len) in &c.held {
+                w.u64(*op).u32(*stream).u64(*len);
+            }
+            // Pending sends, flattened as (stream, msg) pairs; restore
+            // rebuilds the per-stream FIFOs (msg ids are ordered).
+            let pending: Vec<(u32, u64)> = {
+                let mut v: Vec<(u32, u64)> = c
+                    .per_stream
+                    .iter()
+                    .flat_map(|(s, q)| q.iter().map(move |m| (*s, *m)))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            w.u32(pending.len() as u32);
+            for (stream, msg) in pending {
+                w.u32(stream).u64(msg);
+            }
+            w.u32(c.next_msg.len() as u32);
+            let mut streams: Vec<_> = c.next_msg.iter().collect();
+            streams.sort();
+            for (s, m) in streams {
+                w.u32(*s).u64(*m);
+            }
+            w.u32(c.next_deliver.len() as u32);
+            let mut streams: Vec<_> = c.next_deliver.iter().collect();
+            streams.sort();
+            for (s, m) in streams {
+                w.u32(*s).u64(*m);
+            }
+            w.u32(c.ready.len() as u32);
+            let mut ready: Vec<_> = c.ready.iter().collect();
+            ready.sort();
+            for ((s, m), len) in ready {
+                w.u32(*s).u64(*m).u64(*len);
+            }
+        }
+        // Flows and their peers.
+        w.u32(self.flows.len() as u32);
+        let mut flow_ids: Vec<u64> = self.flows.keys().copied().collect();
+        flow_ids.sort_unstable();
+        for fid in flow_ids {
+            let (host, key) = self.flow_peers[&fid];
+            w.u32(host).u64(key);
+            w.bytes(&self.flows[&fid].serialize());
+        }
+        // Send-message state.
+        w.u32(self.send_msgs.len() as u32);
+        let mut keys: Vec<_> = self.send_msgs.keys().copied().collect();
+        keys.sort_unstable();
+        for (conn, stream, msg) in keys {
+            let s = &self.send_msgs[&(conn, stream, msg)];
+            w.u64(conn).u32(stream).u64(msg);
+            w.u64(s.op)
+                .bool(s.session.is_some())
+                .u64(s.session.unwrap_or(0))
+                .u64(s.total)
+                .u32(s.chunks)
+                .u64(s.issued_at.as_nanos())
+                .u64(s.next_offset);
+            w.u32(s.acked_offsets.len() as u32);
+            let mut offs: Vec<u64> = s.acked_offsets.iter().copied().collect();
+            offs.sort_unstable();
+            for o in offs {
+                w.u64(o);
+            }
+        }
+        // Receive reassembly state.
+        w.u32(self.recv_msgs.len() as u32);
+        let mut keys: Vec<_> = self.recv_msgs.keys().copied().collect();
+        keys.sort_unstable();
+        for (conn, stream, msg) in keys {
+            let r = &self.recv_msgs[&(conn, stream, msg)];
+            w.u64(conn).u32(stream).u64(msg).u64(r.total);
+            w.u32(r.offsets.len() as u32);
+            let mut offs: Vec<u64> = r.offsets.iter().copied().collect();
+            offs.sort_unstable();
+            for o in offs {
+                w.u64(o);
+            }
+        }
+        // Pending one-sided ops.
+        w.u32(self.pending_ops.len() as u32);
+        let mut ops: Vec<u64> = self.pending_ops.keys().copied().collect();
+        ops.sort_unstable();
+        for op in ops {
+            let p = &self.pending_ops[&op];
+            w.u64(op)
+                .u8(match p.kind {
+                    OpKind::Send => 0,
+                    OpKind::Read => 1,
+                    OpKind::Write => 2,
+                    OpKind::IndirectRead => 3,
+                    OpKind::ScanRead => 4,
+                })
+                .u64(p.conn)
+                .bool(p.session.is_some())
+                .u64(p.session.unwrap_or(0))
+                .u64(p.issued_at.as_nanos());
+        }
+        w.finish()
+    }
+
+    fn detach(&mut self, sim: &mut Sim) {
+        let _ = sim;
+        self.detached = true;
+        if let Some((_, h)) = self.timer.take() {
+            h.cancel();
+        }
+        self.fabric.with_nic(self.cfg.host, |nic| {
+            nic.detach_filter(self.cfg.engine_key);
+        });
+    }
+
+    fn container(&self) -> &str {
+        &self.cfg.container
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl PonyEngine {
+    /// Restores an engine from [`Engine::serialize_state`] output plus
+    /// re-injected runtime handles (the new Snap instance's fabric,
+    /// regions and sessions — transferred during brownout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt snapshot.
+    pub fn restore(
+        state: &[u8],
+        mut cfg: PonyEngineConfig,
+        fabric: FabricHandle,
+        regions: RegionRegistry,
+        sessions: SessionTable,
+        now: Nanos,
+    ) -> PonyEngine {
+        let mut r = Reader::new(state);
+        let name = r.string().expect("name");
+        cfg.name = name;
+        let mut engine = PonyEngine::new(cfg, fabric, regions, sessions);
+        for _ in 0..r.u32().expect("session count") {
+            engine.owned_sessions.push(r.u64().expect("sid"));
+        }
+        let nconns = r.u32().expect("conn count");
+        for _ in 0..nconns {
+            let id = r.u64().expect("conn id");
+            let flow = r.u64().expect("flow");
+            let remote_host = r.u32().expect("remote host");
+            let remote_engine = r.u64().expect("remote engine");
+            let has_session = r.bool().expect("has session");
+            let session = r.u64().expect("session");
+            let remote_posted = r.u32().expect("remote_posted");
+            let local_posted = r.u32().expect("local_posted");
+            let small_credits = r.u32().expect("credits");
+            let mut held = VecDeque::new();
+            for _ in 0..r.u32().expect("held len") {
+                held.push_back((
+                    r.u64().expect("op"),
+                    r.u32().expect("stream"),
+                    r.u64().expect("len"),
+                ));
+            }
+            let mut per_stream: HashMap<u32, VecDeque<u64>> = HashMap::new();
+            let mut stream_queue = VecDeque::new();
+            for _ in 0..r.u32().expect("active len") {
+                let stream = r.u32().expect("stream");
+                let msg = r.u64().expect("msg");
+                let q = per_stream.entry(stream).or_default();
+                q.push_back(msg);
+                if q.len() == 1 {
+                    stream_queue.push_back(stream);
+                }
+            }
+            let mut next_msg = HashMap::new();
+            for _ in 0..r.u32().expect("next_msg len") {
+                let s = r.u32().expect("stream");
+                let m = r.u64().expect("msg");
+                next_msg.insert(s, m);
+            }
+            let mut next_deliver = HashMap::new();
+            for _ in 0..r.u32().expect("next_deliver len") {
+                let s = r.u32().expect("stream");
+                let m = r.u64().expect("msg");
+                next_deliver.insert(s, m);
+            }
+            let mut ready = HashMap::new();
+            for _ in 0..r.u32().expect("ready len") {
+                let s = r.u32().expect("stream");
+                let m = r.u64().expect("msg");
+                let len = r.u64().expect("len");
+                ready.insert((s, m), len);
+            }
+            engine.conns.insert(
+                id,
+                ConnState {
+                    id,
+                    flow,
+                    remote_host,
+                    remote_engine,
+                    session: has_session.then_some(session),
+                    remote_posted,
+                    local_posted,
+                    small_credits,
+                    held,
+                    stream_queue,
+                    per_stream,
+                    next_msg,
+                    next_deliver,
+                    ready,
+                },
+            );
+        }
+        let nflows = r.u32().expect("flow count");
+        for _ in 0..nflows {
+            let host = r.u32().expect("peer host");
+            let key = r.u64().expect("peer key");
+            let body = r.bytes().expect("flow body");
+            let flow = Flow::deserialize(body, engine.cfg.cc.clone(), now);
+            engine.flow_peers.insert(flow.id, (host, key));
+            // Rebuild the mapper so future conns reuse these flows.
+            engine.mapper.flow_for(host, key);
+            engine.flows.insert(flow.id, flow);
+        }
+        let nsend = r.u32().expect("send count");
+        for _ in 0..nsend {
+            let conn = r.u64().expect("conn");
+            let stream = r.u32().expect("stream");
+            let msg = r.u64().expect("msg");
+            let op = r.u64().expect("op");
+            let has_session = r.bool().expect("has session");
+            let session = r.u64().expect("session");
+            let total = r.u64().expect("total");
+            let chunks = r.u32().expect("chunks");
+            let issued_at = Nanos(r.u64().expect("issued"));
+            let next_offset = r.u64().expect("next_offset");
+            let mut acked_offsets = HashSet::new();
+            for _ in 0..r.u32().expect("acked len") {
+                acked_offsets.insert(r.u64().expect("offset"));
+            }
+            engine.send_msgs.insert(
+                (conn, stream, msg),
+                SendMsg {
+                    op,
+                    session: has_session.then_some(session),
+                    total,
+                    chunks,
+                    acked_offsets,
+                    issued_at,
+                    next_offset,
+                },
+            );
+        }
+        let nrecv = r.u32().expect("recv count");
+        for _ in 0..nrecv {
+            let conn = r.u64().expect("conn");
+            let stream = r.u32().expect("stream");
+            let msg = r.u64().expect("msg");
+            let total = r.u64().expect("total");
+            let mut offsets = HashSet::new();
+            let mut received = 0u64;
+            let n = r.u32().expect("offsets");
+            for _ in 0..n {
+                offsets.insert(r.u64().expect("offset"));
+            }
+            // Reconstruct received byte count from offsets and the MTU
+            // chunking rule.
+            let mtu = engine.cfg.mtu as u64;
+            for &o in &offsets {
+                received += (total - o).min(mtu);
+            }
+            engine
+                .recv_msgs
+                .insert((conn, stream, msg), RecvMsg {
+                    total,
+                    received,
+                    offsets,
+                });
+        }
+        let nops = r.u32().expect("op count");
+        for _ in 0..nops {
+            let op = r.u64().expect("op");
+            let kind = match r.u8().expect("kind") {
+                0 => OpKind::Send,
+                1 => OpKind::Read,
+                2 => OpKind::Write,
+                3 => OpKind::IndirectRead,
+                _ => OpKind::ScanRead,
+            };
+            let conn = r.u64().expect("conn");
+            let has_session = r.bool().expect("has session");
+            let session = r.u64().expect("session");
+            let issued_at = Nanos(r.u64().expect("issued"));
+            engine.pending_ops.insert(
+                op,
+                PendingOp {
+                    kind,
+                    conn,
+                    session: has_session.then_some(session),
+                    issued_at,
+                },
+            );
+        }
+        engine
+    }
+}

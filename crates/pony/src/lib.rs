@@ -1,0 +1,37 @@
+//! Pony Express: the Snap transport (§3).
+//!
+//! "Through Snap, we created a new communication stack called Pony
+//! Express that implements a custom reliable transport and
+//! communications API. ... It implements reliability, congestion
+//! control, optional ordering, flow control, and execution of remote
+//! data access operations."
+//!
+//! Layering (§3.1):
+//!
+//! * [`wire`] — the versioned wire protocol, with least-common-
+//!   denominator version negotiation.
+//! * [`flow`] — the lower layer: reliable flows between engine pairs
+//!   (per-packet delivery, SACK + RTO, Timely pacing) and the flow
+//!   mapper.
+//! * [`timely`] — the Timely-variant congestion control.
+//! * [`engine`] — the Pony Express engine: op state machines for
+//!   two-sided messaging (streams, §3.3) and one-sided operations
+//!   (read/write/indirect read/scan-and-read, §3.2), just-in-time
+//!   packet generation, and upgrade state serialization.
+//! * [`client`] — the application client library (asynchronous
+//!   operation commands and completions over shared-memory queues).
+//! * [`module`] — the Pony control module: engine creation, session
+//!   bootstrap, cross-host connection setup, upgrade factories.
+//! * [`hw_rdma`] — the hardware RDMA NIC comparison model of §5.4.
+
+pub mod client;
+pub mod engine;
+pub mod flow;
+pub mod hw_rdma;
+pub mod module;
+pub mod timely;
+pub mod wire;
+
+pub use client::{OpStatus, PonyClient, PonyCommand, PonyCompletion};
+pub use engine::{PonyEngine, PonyEngineConfig, SessionTable};
+pub use module::{new_net, PonyModule, PonyNetHandle};

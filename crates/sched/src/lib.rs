@@ -1,0 +1,31 @@
+//! CPU scheduling substrate for the Snap reproduction.
+//!
+//! The paper's latency results are dominated by *scheduling* effects:
+//! how fast a transport thread gets onto a core when a packet arrives.
+//! That depends on the kernel scheduling class (CFS vs. the custom
+//! MicroQuanta class, §2.4.1), core power states (Fig. 7a), and
+//! antagonist interference — both compute antagonists (Fig. 6d) and
+//! kernel non-preemptible sections from an mmap/munmap antagonist
+//! (Fig. 7b).
+//!
+//! This crate models a machine's cores and produces wakeup latencies
+//! mechanistically from per-core state (idle depth, busy slices,
+//! non-preemptible windows) plus the calibrated class costs in
+//! [`snap_sim::costs`]:
+//!
+//! * [`machine::Machine`] — per-core state, C-state descent, interrupt
+//!   targeting, wakeup latency computation.
+//! * [`classes::SchedClass`] — CFS (with niceness), MicroQuanta
+//!   (runtime/period bandwidth control), and FIFO.
+//! * [`classes::MicroQuantaBudget`] — enforcement of the MicroQuanta
+//!   runtime/period contract.
+//! * [`antagonist`] — the MD5 compute antagonist and the
+//!   mmap/munmap non-preemptible-section antagonist of §5.3.
+
+pub mod antagonist;
+pub mod classes;
+pub mod machine;
+
+pub use antagonist::{ComputeAntagonist, MmapAntagonist};
+pub use classes::{MicroQuantaBudget, SchedClass};
+pub use machine::{CoreId, Machine};

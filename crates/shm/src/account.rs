@@ -1,0 +1,173 @@
+//! Per-container CPU and memory accounting (§2.5).
+//!
+//! "Snap maintains strong accounting and isolation by accurately
+//! attributing both CPU and memory consumed on behalf of applications
+//! to those applications ... to charge CPU and memory to application
+//! containers." These accountants are shared (`Arc`-cloneable) and
+//! thread-safe; engines charge as they allocate and process.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Thread-safe per-container byte accounting.
+#[derive(Clone, Default)]
+pub struct MemoryAccountant {
+    inner: Arc<Mutex<HashMap<String, i64>>>,
+}
+
+impl MemoryAccountant {
+    /// Creates an accountant with no charges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `bytes` to `container`.
+    pub fn charge(&self, container: &str, bytes: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(container.to_string()).or_insert(0) += bytes as i64;
+    }
+
+    /// Releases `bytes` previously charged to `container`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the container goes negative, which
+    /// indicates a release without a matching charge.
+    pub fn release(&self, container: &str, bytes: u64) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(container.to_string()).or_insert(0);
+        *entry -= bytes as i64;
+        debug_assert!(*entry >= 0, "container {container} released more than charged");
+    }
+
+    /// Current usage of a container in bytes (0 if unknown).
+    pub fn usage(&self, container: &str) -> u64 {
+        self.inner.lock().get(container).copied().unwrap_or(0).max(0) as u64
+    }
+
+    /// Total bytes charged across all containers.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().values().map(|&v| v.max(0) as u64).sum()
+    }
+
+    /// Snapshot of (container, bytes) pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, &b)| (k.clone(), b.max(0) as u64))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Thread-safe per-container CPU-time accounting, in nanoseconds.
+///
+/// Engines charge the time they spend doing work on behalf of a
+/// container; the spin-poll idle loop is charged to the Snap system
+/// container, mirroring how the paper separates attributable work from
+/// polling overhead.
+#[derive(Clone, Default)]
+pub struct CpuAccountant {
+    inner: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+impl CpuAccountant {
+    /// Creates an accountant with no charges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `nanos` of CPU time to `container`.
+    pub fn charge(&self, container: &str, nanos: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(container.to_string()).or_insert(0) += nanos;
+    }
+
+    /// Total CPU nanoseconds charged to a container.
+    pub fn usage(&self, container: &str) -> u64 {
+        self.inner.lock().get(container).copied().unwrap_or(0)
+    }
+
+    /// Total CPU nanoseconds across all containers.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().values().sum()
+    }
+
+    /// Snapshot of (container, nanos) pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, &n)| (k.clone(), n))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_charge_release_roundtrip() {
+        let a = MemoryAccountant::new();
+        a.charge("alpha", 100);
+        a.charge("alpha", 50);
+        a.charge("beta", 10);
+        assert_eq!(a.usage("alpha"), 150);
+        assert_eq!(a.usage("beta"), 10);
+        assert_eq!(a.total(), 160);
+        a.release("alpha", 150);
+        assert_eq!(a.usage("alpha"), 0);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn unknown_container_is_zero() {
+        let a = MemoryAccountant::new();
+        assert_eq!(a.usage("ghost"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let a = MemoryAccountant::new();
+        a.charge("z", 1);
+        a.charge("a", 2);
+        assert_eq!(a.snapshot(), vec![("a".into(), 2), ("z".into(), 1)]);
+    }
+
+    #[test]
+    fn cpu_accounting_accumulates() {
+        let c = CpuAccountant::new();
+        c.charge("job1", 500);
+        c.charge("job1", 250);
+        c.charge("snap-system", 1_000);
+        assert_eq!(c.usage("job1"), 750);
+        assert_eq!(c.total(), 1_750);
+    }
+
+    #[test]
+    fn concurrent_charges_sum_exactly() {
+        let a = MemoryAccountant::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    a.charge("shared", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.usage("shared"), 80_000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Credit-based flow control for small messages (§3.3).
+//!
+//! "Flow control is based on a mix of receiver-driven buffer posting as
+//! well as a shared buffer pool managed using credits, for smaller
+//! messages." A [`CreditPool`] is the receiver-side shared pool: senders
+//! acquire credits before transmitting small messages; the receiver
+//! returns credits as it drains its shared buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of flow-control credits (1 credit = 1 small-message
+/// buffer at the receiver).
+#[derive(Clone, Debug)]
+pub struct CreditPool {
+    available: Arc<AtomicU64>,
+    capacity: u64,
+}
+
+/// RAII grant of credits; returns them to the pool on drop.
+#[derive(Debug)]
+pub struct CreditGrant {
+    pool: CreditPool,
+    amount: u64,
+}
+
+impl CreditPool {
+    /// Creates a pool with `capacity` credits, all available.
+    pub fn new(capacity: u64) -> Self {
+        CreditPool {
+            available: Arc::new(AtomicU64::new(capacity)),
+            capacity,
+        }
+    }
+
+    /// Attempts to acquire `n` credits atomically; all or nothing.
+    pub fn try_acquire(&self, n: u64) -> Option<CreditGrant> {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            if cur < n {
+                return None;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(CreditGrant {
+                        pool: self.clone(),
+                        amount: n,
+                    })
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Currently available credits.
+    pub fn available(&self) -> u64 {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Total credits when idle.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn release(&self, n: u64) {
+        let prev = self.available.fetch_add(n, Ordering::AcqRel);
+        debug_assert!(
+            prev + n <= self.capacity,
+            "credit over-release: {} + {} > {}",
+            prev,
+            n,
+            self.capacity
+        );
+    }
+}
+
+impl CreditGrant {
+    /// Number of credits held.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// Splits off `n` credits into a separate grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the held amount.
+    pub fn split(&mut self, n: u64) -> CreditGrant {
+        assert!(n <= self.amount, "cannot split {n} from {}", self.amount);
+        self.amount -= n;
+        CreditGrant {
+            pool: self.pool.clone(),
+            amount: n,
+        }
+    }
+
+    /// Returns `n` of the held credits to the pool early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the held amount.
+    pub fn release_partial(&mut self, n: u64) {
+        assert!(n <= self.amount, "cannot release {n} of {}", self.amount);
+        self.amount -= n;
+        self.pool.release(n);
+    }
+}
+
+impl Drop for CreditGrant {
+    fn drop(&mut self) {
+        if self.amount > 0 {
+            self.pool.release(self.amount);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_and_auto_release() {
+        let pool = CreditPool::new(10);
+        {
+            let g = pool.try_acquire(7).unwrap();
+            assert_eq!(g.amount(), 7);
+            assert_eq!(pool.available(), 3);
+            assert!(pool.try_acquire(4).is_none(), "only 3 left");
+            let g2 = pool.try_acquire(3).unwrap();
+            assert_eq!(pool.available(), 0);
+            drop(g2);
+        }
+        assert_eq!(pool.available(), 10);
+    }
+
+    #[test]
+    fn split_and_partial_release() {
+        let pool = CreditPool::new(8);
+        let mut g = pool.try_acquire(8).unwrap();
+        let half = g.split(4);
+        assert_eq!(g.amount(), 4);
+        assert_eq!(half.amount(), 4);
+        assert_eq!(pool.available(), 0);
+        drop(half);
+        assert_eq!(pool.available(), 4);
+        g.release_partial(2);
+        assert_eq!(pool.available(), 6);
+        drop(g);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn oversplit_panics() {
+        let pool = CreditPool::new(2);
+        let mut g = pool.try_acquire(2).unwrap();
+        let _ = g.split(3);
+    }
+
+    #[test]
+    fn zero_acquire_always_succeeds() {
+        let pool = CreditPool::new(0);
+        assert!(pool.try_acquire(0).is_some());
+        assert!(pool.try_acquire(1).is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_conserves_credits() {
+        let pool = CreditPool::new(100);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut peak_held = 0u64;
+                for _ in 0..5_000 {
+                    if let Some(g) = pool.try_acquire(3) {
+                        peak_held = peak_held.max(g.amount());
+                        drop(g);
+                    }
+                }
+                peak_held
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.available(), 100, "credits leaked or inflated");
+    }
+}

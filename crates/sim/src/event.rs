@@ -1,0 +1,360 @@
+//! The event loop: a time-ordered heap of scheduled closures.
+//!
+//! Events are closures that receive `&mut Sim` so they can schedule
+//! further events. Shared mutable world state (hosts, NICs, engines)
+//! lives in `Rc<RefCell<..>>` captured by the closures; the simulation
+//! is strictly single-threaded so this is both safe and cheap.
+//!
+//! Two events scheduled for the same instant fire in scheduling order
+//! (FIFO), which keeps runs deterministic.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::Nanos;
+
+/// An event callback. Runs once at its scheduled time.
+pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    cancelled: Option<Rc<Cell<bool>>>,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A handle to a scheduled event that allows cancelling it.
+///
+/// Cancellation is lazy: the slot stays in the heap and is skipped when
+/// popped. Handles are cheap (`Rc<Cell<bool>>`) and may outlive the
+/// event.
+#[derive(Clone)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Cancels the event. Idempotent; harmless after the event fired.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Returns true if [`EventHandle::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// The discrete-event simulator: a virtual clock plus an event heap.
+pub struct Sim {
+    now: Nanos,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: Nanos::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Returns the number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of events still pending (including lazily
+    /// cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: Nanos, f: F) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            cancelled: None,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: Nanos, f: F) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules a cancellable event at absolute time `at`.
+    pub fn schedule_cancellable_at<F: FnOnce(&mut Sim) + 'static>(
+        &mut self,
+        at: Nanos,
+        f: F,
+    ) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let cancelled = Rc::new(Cell::new(false));
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            cancelled: Some(cancelled.clone()),
+            f: Box::new(f),
+        });
+        EventHandle { cancelled }
+    }
+
+    /// Schedules a cancellable event `delay` after the current time.
+    pub fn schedule_cancellable_in<F: FnOnce(&mut Sim) + 'static>(
+        &mut self,
+        delay: Nanos,
+        f: F,
+    ) -> EventHandle {
+        self.schedule_cancellable_at(self.now + delay, f)
+    }
+
+    /// Runs a single event if one is pending; returns whether it did.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.heap.pop() {
+            if let Some(c) = &ev.cancelled {
+                if c.get() {
+                    continue;
+                }
+            }
+            debug_assert!(ev.at >= self.now, "event heap ordering violated");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event heap drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= deadline`, then advances the
+    /// clock to `deadline` (even if the heap drained earlier).
+    pub fn run_until(&mut self, deadline: Nanos) {
+        loop {
+            let next = loop {
+                match self.heap.peek() {
+                    Some(ev) if ev.cancelled.as_ref().is_some_and(|c| c.get()) => {
+                        self.heap.pop();
+                    }
+                    Some(ev) => break Some(ev.at),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs at most `limit` events; returns how many actually ran.
+    ///
+    /// Useful as a watchdog against runaway event cascades in tests.
+    pub fn run_limit(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Repeatedly schedules `f` every `period` until it returns `false`.
+///
+/// The first invocation happens at `start`.
+pub fn every<F>(sim: &mut Sim, start: Nanos, period: Nanos, f: F)
+where
+    F: FnMut(&mut Sim) -> bool + 'static,
+{
+    assert!(!period.is_zero(), "periodic event with zero period");
+    let f = Rc::new(std::cell::RefCell::new(f));
+    fn tick(sim: &mut Sim, period: Nanos, f: Rc<std::cell::RefCell<dyn FnMut(&mut Sim) -> bool>>) {
+        let keep = (f.borrow_mut())(sim);
+        if keep {
+            let next = sim.now() + period;
+            sim.schedule_at(next, move |sim| tick(sim, period, f));
+        }
+    }
+    sim.schedule_at(start, move |sim| tick(sim, period, f));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(Nanos(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.schedule_at(Nanos(100), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new();
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        sim.schedule_at(Nanos(1), move |sim| {
+            c.set(c.get() + 1);
+            let c2 = c.clone();
+            sim.schedule_in(Nanos(1), move |_| c2.set(c2.get() + 1));
+        });
+        sim.run();
+        assert_eq!(count.get(), 2);
+        assert_eq!(sim.now(), Nanos(2));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut sim = Sim::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let h = sim.schedule_cancellable_at(Nanos(5), move |_| f.set(true));
+        h.cancel();
+        assert!(h.is_cancelled());
+        sim.run();
+        assert!(!fired.get());
+        // Clock does not advance to a cancelled event's time under run().
+        assert_eq!(sim.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new();
+        let fired = Rc::new(Cell::new(0));
+        for t in [10u64, 20, 30] {
+            let f = fired.clone();
+            sim.schedule_at(Nanos(t), move |_| f.set(f.get() + 1));
+        }
+        sim.run_until(Nanos(20));
+        assert_eq!(fired.get(), 2);
+        assert_eq!(sim.now(), Nanos(20));
+        sim.run_until(Nanos(100));
+        assert_eq!(fired.get(), 3);
+        assert_eq!(sim.now(), Nanos(100));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Sim::new();
+        let h = sim.schedule_cancellable_at(Nanos(5), |_| panic!("cancelled event ran"));
+        h.cancel();
+        sim.run_until(Nanos(10));
+        assert_eq!(sim.now(), Nanos(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_at(Nanos(10), |sim| {
+            sim.schedule_at(Nanos(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn periodic_event_runs_until_false() {
+        let mut sim = Sim::new();
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        every(&mut sim, Nanos(0), Nanos(10), move |_| {
+            c.set(c.get() + 1);
+            c.get() < 4
+        });
+        sim.run();
+        assert_eq!(count.get(), 4);
+        assert_eq!(sim.now(), Nanos(30));
+    }
+
+    #[test]
+    fn run_limit_bounds_execution() {
+        let mut sim = Sim::new();
+        // A self-perpetuating event chain.
+        fn chain(sim: &mut Sim) {
+            sim.schedule_in(Nanos(1), chain);
+        }
+        sim.schedule_at(Nanos(0), chain);
+        let ran = sim.run_limit(50);
+        assert_eq!(ran, 50);
+        assert!(sim.pending() > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Kernel TCP/IP baseline model — the paper's comparison stack.
+//!
+//! "We compare against the Linux kernel TCP/IP stack, not only because
+//! it is the baseline at our organization but also because kernel
+//! TCP/IP implementations remain ... the only widely-deployed and
+//! production-hardened alternative for datacenter environments" (§5).
+//!
+//! This crate models the kernel stack at the fidelity the figures
+//! need — a real (simplified) reliable transport running over the same
+//! simulated fabric as Pony Express, with kernel-path costs charged per
+//! packet:
+//!
+//! * syscall entry/exit on send ([`snap_sim::costs::SYSCALL_NS`],
+//!   amortized over large writes),
+//! * `copy_from_user`/`copy_to_user` data copies (2 per payload,
+//!   [`snap_sim::costs::TCP_COPIES`]),
+//! * softirq protocol processing per packet
+//!   ([`snap_sim::costs::TCP_PER_PACKET_NS`]),
+//! * stream-scaling cache/context-switch penalty
+//!   ([`snap_sim::costs::tcp_stream_cost_factor`], Table 1's 200-stream
+//!   collapse),
+//! * CFS application-thread wakeup per received message, or busy-poll
+//!   (`SO_BUSY_POLL`) which spins instead (Fig. 6a's TCP busy-poll
+//!   line).
+//!
+//! The transport itself is a fixed-window, timeout-retransmit TCP
+//! abstraction: enough reliability to survive the fabric's congestion
+//! drops, without modeling SACK/cubic details that do not affect the
+//! reproduced shapes.
+
+pub mod stack;
+
+pub use stack::{TcpConfig, TcpHost, TcpStats};

@@ -1,0 +1,95 @@
+//! Transparent upgrade under live traffic (§4, Fig. 5).
+//!
+//! Messages flow between two hosts while the server-side engine is
+//! migrated to a "new release": brownout transfers the control state in
+//! the background, blackout serializes engine state and swaps the
+//! engine. The connection, its stream, and its message sequence all
+//! survive; in-flight packets lost during blackout are recovered by
+//! the transport like congestion loss.
+//!
+//! ```sh
+//! cargo run --example live_upgrade
+//! ```
+
+use snap_repro::core::upgrade::UpgradeOrchestrator;
+use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::Testbed;
+
+fn main() {
+    let mut tb = Testbed::pair();
+    let mut client = tb.pony_app(0, "app", |_| {});
+    let mut server = tb.pony_app(1, "service", |_| {});
+    let conn = tb.connect(0, "app", 1, "service");
+    server.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 1024 });
+
+    let mut received = Vec::new();
+    let mut sent = 0u64;
+
+    // Phase 1: steady traffic.
+    for _ in 0..20 {
+        client.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 900 });
+        sent += 1;
+        tb.run_us(300);
+        for c in server.take_completions() {
+            if let PonyCompletion::RecvMsg { msg, .. } = c {
+                received.push(msg);
+            }
+        }
+    }
+    println!("phase 1: sent {sent}, server received {} messages", received.len());
+
+    // Phase 2: upgrade the server's engine while traffic continues.
+    let engine = tb.hosts[1].module.engine_for("service").expect("engine exists");
+    let factory = tb.hosts[1].module.upgrade_factory("service").expect("factory");
+    let mut orch = UpgradeOrchestrator::new();
+    orch.add_engine(tb.hosts[1].group.clone(), engine, 8, factory);
+    let report_slot = orch.start(&mut tb.sim);
+    println!("upgrade started at t={}", tb.sim.now());
+
+    // Keep sending right through brownout and blackout.
+    for _ in 0..20 {
+        client.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 900 });
+        sent += 1;
+        tb.run_ms(3);
+        for c in server.take_completions() {
+            if let PonyCompletion::RecvMsg { msg, .. } = c {
+                received.push(msg);
+            }
+        }
+    }
+
+    // Phase 3: drain.
+    tb.run_ms(500);
+    for c in server.take_completions() {
+        if let PonyCompletion::RecvMsg { msg, .. } = c {
+            received.push(msg);
+        }
+    }
+
+    let report = report_slot.borrow().clone().expect("upgrade finished");
+    let e = &report.engines[0];
+    println!(
+        "upgrade report: engine '{}' state={}B brownout={} blackout={}",
+        e.engine, e.state_bytes, e.brownout, e.blackout
+    );
+    assert!(
+        e.blackout < Nanos::from_millis(250),
+        "blackout within the paper's envelope"
+    );
+
+    received.sort_unstable();
+    received.dedup();
+    println!(
+        "delivered {}/{} messages across the upgrade; stream ids continuous: {}",
+        received.len(),
+        sent,
+        received == (0..sent).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        received,
+        (0..sent).collect::<Vec<_>>(),
+        "every message delivered exactly once, in the same stream"
+    );
+    println!("transparent upgrade complete — applications never disconnected");
+}

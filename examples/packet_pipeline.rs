@@ -1,0 +1,154 @@
+//! Building a packet-processing engine from Click-style elements
+//! (§2.2) — the "edge switching / traffic shaping" side of Snap.
+//!
+//! A shaping engine is assembled from pluggable elements: a counter, an
+//! ACL, a classifier, and a token-bucket rate limiter (the BwE-style
+//! bandwidth enforcement engine of §2.1). The engine is then hosted in
+//! a Snap engine group like any other engine.
+//!
+//! ```sh
+//! cargo run --example packet_pipeline
+//! ```
+
+use bytes::Bytes;
+
+use snap_repro::core::elements::{AclFilter, Classifier, Counter, Pipeline, TokenBucket};
+use snap_repro::core::engine::{Engine, RunReport};
+use snap_repro::core::group::{GroupConfig, GroupHandle, SchedulingMode};
+use snap_repro::nic::packet::Packet;
+use snap_repro::sched::machine::Machine;
+use snap_repro::shm::account::CpuAccountant;
+use snap_repro::sim::{Nanos, Sim};
+
+/// A shaping engine: packets in, pipeline verdicts out.
+struct ShapingEngine {
+    pipeline: Pipeline,
+    inbox: std::collections::VecDeque<(Nanos, Packet)>,
+    emitted: Vec<Packet>,
+}
+
+impl ShapingEngine {
+    fn new() -> Self {
+        let mut acl = AclFilter::new(false);
+        acl.add_rule(Some(1), None); // only host 1 may send
+        acl.add_rule(Some(2), None); // ... and host 2
+        let pipeline = Pipeline::new()
+            .push_stage(Box::new(Counter::new()))
+            .push_stage(Box::new(acl))
+            .push_stage(Box::new(Classifier::new("by-dst", |p| p.dst as u64)))
+            // 100 MB/s shaper with a 64 KB burst and a 4096-packet queue.
+            .push_stage(Box::new(TokenBucket::new(100e6, 64e3, 4096)))
+            .push_stage(Box::new(Counter::new()));
+        ShapingEngine {
+            pipeline,
+            inbox: Default::default(),
+            emitted: Vec::new(),
+        }
+    }
+
+    fn inject(&mut self, now: Nanos, pkt: Packet) {
+        self.inbox.push_back((now, pkt));
+    }
+}
+
+impl Engine for ShapingEngine {
+    fn name(&self) -> &str {
+        "shaper"
+    }
+
+    fn run(&mut self, sim: &mut Sim) -> RunReport {
+        let now = sim.now();
+        let mut work = false;
+        let mut cpu = Nanos(120);
+        for _ in 0..16 {
+            let Some((_, pkt)) = self.inbox.pop_front() else { break };
+            self.emitted.extend(self.pipeline.push(pkt, now));
+            cpu += Nanos(300);
+            work = true;
+        }
+        // Release shaped packets whose tokens refilled.
+        let released = self.pipeline.poll(now);
+        work |= !released.is_empty();
+        self.emitted.extend(released);
+        RunReport {
+            cpu,
+            work_done: work,
+            pending: self.inbox.len() + self.pipeline.held(),
+            next_deadline: None,
+        }
+    }
+
+    fn pending_work(&self) -> usize {
+        self.inbox.len() + self.pipeline.held()
+    }
+
+    fn oldest_pending_age(&self, now: Nanos) -> Nanos {
+        self.inbox
+            .front()
+            .map(|(t, _)| now.saturating_sub(*t))
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    fn serialize_state(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn detach(&mut self, _sim: &mut Sim) {}
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn main() {
+    let mut sim = Sim::new();
+    let machine = std::rc::Rc::new(std::cell::RefCell::new(Machine::new(4, 1)));
+    let group = GroupHandle::new(
+        GroupConfig {
+            name: "shaping".into(),
+            mode: SchedulingMode::Dedicated { cores: vec![0] },
+            class: None,
+        },
+        machine,
+        CpuAccountant::new(),
+    );
+    let id = group.add_engine(Box::new(ShapingEngine::new()));
+    group.start(&mut sim);
+
+    // Offer a burst: 200 allowed packets from hosts 1-2, 50 denied
+    // packets from host 3, all 1 KB.
+    group.with_engine(id, |e| {
+        let e = e.as_any().downcast_mut::<ShapingEngine>().unwrap();
+        for i in 0..250u32 {
+            let src = if i % 5 == 4 { 3 } else { 1 + (i % 2) };
+            let pkt = Packet::new(src, 9, Bytes::from(vec![0u8; 1000]));
+            e.inject(Nanos::ZERO, pkt);
+        }
+    });
+    group.wake(&mut sim, id);
+
+    // Drive for 5 simulated milliseconds, waking the engine as the
+    // shaper's tokens refill.
+    for step in 1..=50u64 {
+        sim.run_until(Nanos::from_micros(step * 100));
+        group.wake(&mut sim, id);
+    }
+    sim.run_until(Nanos::from_millis(5));
+
+    group.with_engine(id, |e| {
+        let e = e.as_any().downcast_mut::<ShapingEngine>().unwrap();
+        let held = e.pipeline.held();
+        println!("pipeline stages: {}", e.pipeline.len());
+        println!("packets emitted (passed ACL + shaper): {}", e.emitted.len());
+        println!("packets still queued in the shaper: {held}");
+        // ~64KB burst + 100MB/s * 5ms = ~564KB -> ~540 pkts max; we
+        // offered 200 legal packets so most escape within 5 ms.
+        assert!(e.emitted.len() <= 200, "ACL must stop host 3");
+        assert!(!e.emitted.is_empty(), "shaper must release packets");
+        for p in &e.emitted {
+            assert_ne!(p.src, 3, "denied source leaked through");
+            assert_eq!(p.steer_key, Some(9), "classifier must tag packets");
+        }
+    });
+    println!("packet pipeline example complete");
+}

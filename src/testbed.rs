@@ -1,0 +1,267 @@
+//! Ready-made simulated deployments for examples, tests and benches.
+//!
+//! A [`Testbed`] is a rack: N hosts on one ToR switch, each with a
+//! multi-queue NIC, a machine model, a Snap engine group, and a Pony
+//! module wired to a shared fleet directory. Helper methods create
+//! application engines/sessions, connect applications across hosts, and
+//! drive the simulation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snap_core::group::{GroupConfig, GroupHandle, MachineHandle, SchedulingMode};
+use snap_nic::fabric::{FabricConfig, FabricHandle};
+use snap_nic::nic::NicConfig;
+use snap_nic::packet::HostId;
+use snap_pony::client::PonyClient;
+use snap_pony::engine::PonyEngineConfig;
+use snap_pony::module::{new_net, PonyModule, PonyNetHandle};
+use snap_sched::machine::Machine;
+use snap_shm::account::{CpuAccountant, MemoryAccountant};
+use snap_shm::region::RegionRegistry;
+use snap_sim::{Nanos, Sim};
+use snap_tcp::stack::{TcpConfig, TcpHost};
+
+/// Testbed construction parameters.
+#[derive(Clone)]
+pub struct TestbedConfig {
+    /// Number of hosts on the rack.
+    pub hosts: usize,
+    /// NIC line rate per host, Gbps.
+    pub nic_gbps: f64,
+    /// Hardware threads per host.
+    pub cores_per_host: usize,
+    /// Engine-group scheduling mode used on every host.
+    pub mode: SchedulingMode,
+    /// Random per-packet loss probability on the fabric.
+    pub loss: f64,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            hosts: 2,
+            nic_gbps: 50.0,
+            cores_per_host: 16,
+            mode: SchedulingMode::Dedicated { cores: vec![0] },
+            loss: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One simulated host.
+pub struct TestHost {
+    /// Fabric host id.
+    pub id: HostId,
+    /// The machine (cores, C-states, antagonists).
+    pub machine: MachineHandle,
+    /// The Snap engine group.
+    pub group: GroupHandle,
+    /// The Pony control module.
+    pub module: PonyModule,
+    /// Shared-memory regions registered on this host.
+    pub regions: RegionRegistry,
+    /// Per-container CPU accounting.
+    pub cpu: CpuAccountant,
+    /// Per-container memory accounting.
+    pub memory: MemoryAccountant,
+}
+
+/// A simulated rack running Snap.
+pub struct Testbed {
+    /// The discrete-event simulator.
+    pub sim: Sim,
+    /// The shared fabric.
+    pub fabric: FabricHandle,
+    /// All hosts, indexed by fabric host id.
+    pub hosts: Vec<TestHost>,
+    /// The fleet directory.
+    pub net: PonyNetHandle,
+    cfg: TestbedConfig,
+}
+
+impl Testbed {
+    /// Builds and starts a rack.
+    pub fn new(cfg: TestbedConfig) -> Self {
+        let fabric = FabricHandle::new(FabricConfig {
+            loss_prob: cfg.loss,
+            seed: cfg.seed,
+            ..FabricConfig::default()
+        });
+        let net = new_net();
+        let mut sim = Sim::new();
+        let mut hosts = Vec::with_capacity(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let id = fabric.add_host(NicConfig {
+                gbps: cfg.nic_gbps,
+                num_queues: 8,
+                ..NicConfig::default()
+            });
+            let machine: MachineHandle = Rc::new(RefCell::new(Machine::new(
+                cfg.cores_per_host,
+                cfg.seed ^ (h as u64 + 1),
+            )));
+            let cpu = CpuAccountant::new();
+            let memory = MemoryAccountant::new();
+            let group = GroupHandle::new(
+                GroupConfig {
+                    name: format!("pony-group-{h}"),
+                    mode: cfg.mode.clone(),
+                    class: None,
+                },
+                machine.clone(),
+                cpu.clone(),
+            );
+            group.start(&mut sim);
+            let regions = RegionRegistry::new(memory.clone());
+            let module = PonyModule::new(id, fabric.clone(), regions.clone(), group.clone(), net.clone());
+            hosts.push(TestHost {
+                id,
+                machine,
+                group,
+                module,
+                regions,
+                cpu,
+                memory,
+            });
+        }
+        Testbed {
+            sim,
+            fabric,
+            hosts,
+            net,
+            cfg,
+        }
+    }
+
+    /// A two-host testbed with defaults — the quickest start.
+    pub fn pair() -> Self {
+        Self::new(TestbedConfig::default())
+    }
+
+    /// Creates a Pony engine + session for `app` on `host` and returns
+    /// the client library handle.
+    pub fn pony_app(
+        &mut self,
+        host: usize,
+        app: &str,
+        configure: impl FnOnce(&mut PonyEngineConfig),
+    ) -> PonyClient {
+        self.hosts[host].module.create_engine(app, configure);
+        self.hosts[host]
+            .module
+            .open_session(app, 4096)
+            .expect("engine just created")
+    }
+
+    /// Connects `app_a` on `host_a` to `app_b` on `host_b`; returns the
+    /// connection id (valid at both ends).
+    pub fn connect(&mut self, host_a: usize, app_a: &str, host_b: usize, app_b: &str) -> u64 {
+        let remote = self.hosts[host_b].id;
+        self.hosts[host_a]
+            .module
+            .connect(app_a, remote, app_b)
+            .expect("both apps registered")
+    }
+
+    /// Creates a kernel-TCP stack on `host` (for baseline comparisons).
+    /// The host's NIC interrupt handler is taken over by the TCP stack,
+    /// so a host runs either TCP or Pony in a given experiment — as in
+    /// the paper's evaluation.
+    pub fn tcp_host(&mut self, host: usize, cfg: TcpConfig) -> TcpHost {
+        TcpHost::new(
+            self.hosts[host].id,
+            self.fabric.clone(),
+            self.hosts[host].machine.clone(),
+            cfg,
+        )
+    }
+
+    /// Runs the simulation for `ms` more milliseconds of virtual time.
+    pub fn run_ms(&mut self, ms: u64) {
+        let deadline = self.sim.now() + Nanos::from_millis(ms);
+        self.sim.run_until(deadline);
+    }
+
+    /// Runs the simulation for `us` more microseconds of virtual time.
+    pub fn run_us(&mut self, us: u64) {
+        let deadline = self.sim.now() + Nanos::from_micros(us);
+        self.sim.run_until(deadline);
+    }
+
+    /// Stops group rebalancers (needed before a draining `sim.run()` on
+    /// compacting-mode testbeds).
+    pub fn stop_groups(&self) {
+        for h in &self.hosts {
+            h.group.stop();
+        }
+    }
+
+    /// The configured scheduling mode.
+    pub fn mode(&self) -> &SchedulingMode {
+        &self.cfg.mode
+    }
+
+    /// Total Snap CPU seconds consumed on a host so far.
+    pub fn host_cpu(&mut self, host: usize) -> snap_core::group::GroupCpu {
+        let now = self.sim.now();
+        self.hosts[host].group.cpu(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_pony::client::{PonyCommand, PonyCompletion};
+
+    #[test]
+    fn pair_testbed_messaging_works() {
+        let mut tb = Testbed::pair();
+        let mut a = tb.pony_app(0, "alpha", |_| {});
+        let mut b = tb.pony_app(1, "beta", |_| {});
+        let conn = tb.connect(0, "alpha", 1, "beta");
+        a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: 64,
+            },
+        );
+        tb.run_ms(5);
+        assert!(b
+            .take_completions()
+            .iter()
+            .any(|c| matches!(c, PonyCompletion::RecvMsg { len: 64, .. })));
+        assert!(a
+            .take_completions()
+            .iter()
+            .any(|c| matches!(c, PonyCompletion::OpDone { .. })));
+    }
+
+    #[test]
+    fn cpu_accounting_flows_through() {
+        let mut tb = Testbed::pair();
+        let mut a = tb.pony_app(0, "alpha", |_| {});
+        let _b = tb.pony_app(1, "beta", |_| {});
+        let conn = tb.connect(0, "alpha", 1, "beta");
+        for _ in 0..50 {
+            a.submit(
+                &mut tb.sim,
+                PonyCommand::Send {
+                    conn,
+                    stream: 0,
+                    len: 1000,
+                },
+            );
+        }
+        tb.run_ms(20);
+        let cpu = tb.host_cpu(0);
+        assert!(cpu.engine > Nanos::ZERO);
+        // Engine CPU is charged to the app container.
+        assert!(tb.hosts[0].cpu.usage("alpha") > 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! One-sided operations end to end (§3.2): remote reads/writes and the
+//! custom indirect and scan-and-read operations, including permission
+//! enforcement — no server application thread participates anywhere.
+
+use snap_repro::pony::client::{OpStatus, PonyCommand, PonyCompletion};
+use snap_repro::shm::region::AccessMode;
+use snap_repro::testbed::Testbed;
+
+fn op_result(completions: Vec<PonyCompletion>, op: u64) -> (OpStatus, Vec<u8>) {
+    completions
+        .into_iter()
+        .find_map(|c| match c {
+            PonyCompletion::OpDone { op: o, status, data, .. } if o == op => Some((status, data)),
+            _ => None,
+        })
+        .expect("operation completed")
+}
+
+struct World {
+    tb: Testbed,
+    client: snap_repro::pony::PonyClient,
+    conn: u64,
+}
+
+fn world() -> World {
+    let mut tb = Testbed::pair();
+    let client = tb.pony_app(0, "initiator", |_| {});
+    let _target = tb.pony_app(1, "target", |_| {});
+    let conn = tb.connect(0, "initiator", 1, "target");
+    World { tb, client, conn }
+}
+
+#[test]
+fn read_returns_exact_bytes() {
+    let mut w = world();
+    let region = w.tb.hosts[1]
+        .regions
+        .register_with("target", (0u8..=255).collect(), AccessMode::ReadOnly);
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Read { conn: w.conn, region: region.0, offset: 100, len: 8 },
+    );
+    w.tb.run_ms(2);
+    let (status, data) = op_result(w.client.take_completions(), op);
+    assert_eq!(status, OpStatus::Ok);
+    assert_eq!(data, (100u8..108).collect::<Vec<_>>());
+}
+
+#[test]
+fn write_to_readonly_region_is_denied() {
+    let mut w = world();
+    let region = w.tb.hosts[1]
+        .regions
+        .register_with("target", vec![9u8; 32], AccessMode::ReadOnly);
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Write { conn: w.conn, region: region.0, offset: 0, data: vec![1, 2, 3] },
+    );
+    w.tb.run_ms(2);
+    let (status, _) = op_result(w.client.take_completions(), op);
+    assert_eq!(status, OpStatus::RemoteAccessError);
+    // Target memory untouched.
+    assert_eq!(w.tb.hosts[1].regions.read(region, 0, 3).unwrap(), vec![9, 9, 9]);
+}
+
+#[test]
+fn unknown_region_is_rejected_not_crashed() {
+    let mut w = world();
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Read { conn: w.conn, region: 0xDEAD, offset: 0, len: 4 },
+    );
+    w.tb.run_ms(2);
+    let (status, _) = op_result(w.client.take_completions(), op);
+    assert_eq!(status, OpStatus::RemoteAccessError);
+}
+
+#[test]
+fn deregistered_region_becomes_inaccessible() {
+    let mut w = world();
+    let region = w.tb.hosts[1]
+        .regions
+        .register_with("target", vec![1u8; 16], AccessMode::ReadOnly);
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Read { conn: w.conn, region: region.0, offset: 0, len: 4 },
+    );
+    w.tb.run_ms(2);
+    assert_eq!(op_result(w.client.take_completions(), op).0, OpStatus::Ok);
+    // The app revokes the region (e.g. rotating shared memory).
+    assert!(w.tb.hosts[1].regions.deregister(region));
+    let op2 = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Read { conn: w.conn, region: region.0, offset: 0, len: 4 },
+    );
+    w.tb.run_ms(2);
+    assert_eq!(
+        op_result(w.client.take_completions(), op2).0,
+        OpStatus::RemoteAccessError
+    );
+}
+
+#[test]
+fn batched_indirect_read_returns_concatenated_targets() {
+    let mut w = world();
+    let heap = w.tb.hosts[1]
+        .regions
+        .register_with("target", (0u8..200).collect(), AccessMode::ReadOnly);
+    let mut table = Vec::new();
+    for i in 0..16u64 {
+        table.extend_from_slice(&(((heap.0) << 32) | (i * 10)).to_le_bytes());
+    }
+    let table = w.tb.hosts[1]
+        .regions
+        .register_with("target", table, AccessMode::ReadOnly);
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::IndirectRead {
+            conn: w.conn,
+            table: table.0,
+            indices: vec![1, 5, 9],
+            len: 3,
+        },
+    );
+    w.tb.run_ms(2);
+    let (status, data) = op_result(w.client.take_completions(), op);
+    assert_eq!(status, OpStatus::Ok);
+    assert_eq!(data, vec![10, 11, 12, 50, 51, 52, 90, 91, 92]);
+}
+
+#[test]
+fn indirect_read_with_bad_table_index_errors() {
+    let mut w = world();
+    let table = w.tb.hosts[1]
+        .regions
+        .register_with("target", vec![0u8; 16], AccessMode::ReadOnly); // 2 entries
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::IndirectRead { conn: w.conn, table: table.0, indices: vec![7], len: 4 },
+    );
+    w.tb.run_ms(2);
+    assert_eq!(
+        op_result(w.client.take_completions(), op).0,
+        OpStatus::RemoteAccessError
+    );
+}
+
+#[test]
+fn scan_read_finds_key_anywhere_in_region() {
+    let mut w = world();
+    let heap = w.tb.hosts[1]
+        .regions
+        .register_with("target", vec![0xCD; 128], AccessMode::ReadOnly);
+    let mut scan = Vec::new();
+    for k in 0..10u64 {
+        scan.extend_from_slice(&(1000 + k).to_le_bytes());
+        scan.extend_from_slice(&(((heap.0) << 32) | (k * 4)).to_le_bytes());
+    }
+    let scan = w.tb.hosts[1]
+        .regions
+        .register_with("target", scan, AccessMode::ReadOnly);
+    let op = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::ScanRead { conn: w.conn, region: scan.0, key: 1009, len: 2 },
+    );
+    w.tb.run_ms(2);
+    let (status, data) = op_result(w.client.take_completions(), op);
+    assert_eq!(status, OpStatus::Ok);
+    assert_eq!(data, vec![0xCD, 0xCD]);
+}
+
+#[test]
+fn writes_then_reads_roundtrip_through_remote_memory() {
+    let mut w = world();
+    let region = w.tb.hosts[1]
+        .regions
+        .register("target", 64, AccessMode::ReadWrite);
+    let wr = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Write { conn: w.conn, region: region.0, offset: 16, data: vec![42; 8] },
+    );
+    w.tb.run_ms(2);
+    assert_eq!(op_result(w.client.take_completions(), wr).0, OpStatus::Ok);
+    let rd = w.client.submit(
+        &mut w.tb.sim,
+        PonyCommand::Read { conn: w.conn, region: region.0, offset: 14, len: 12 },
+    );
+    w.tb.run_ms(2);
+    let (_, data) = op_result(w.client.take_completions(), rd);
+    assert_eq!(data, [vec![0, 0], vec![42; 8], vec![0, 0]].concat());
+}
+
+#[test]
+fn onesided_ops_survive_lossy_fabric() {
+    let mut w = world();
+    w.tb.fabric.set_loss_prob(0.08);
+    let region = w.tb.hosts[1]
+        .regions
+        .register_with("target", (0u8..64).collect(), AccessMode::ReadOnly);
+    let mut ops = Vec::new();
+    for i in 0..20 {
+        ops.push(w.client.submit(
+            &mut w.tb.sim,
+            PonyCommand::Read { conn: w.conn, region: region.0, offset: i as u64, len: 4 },
+        ));
+    }
+    w.tb.run_ms(500);
+    let completions = w.client.take_completions();
+    for (i, op) in ops.into_iter().enumerate() {
+        let (status, data) = completions
+            .iter()
+            .find_map(|c| match c {
+                PonyCompletion::OpDone { op: o, status, data, .. } if *o == op => {
+                    Some((*status, data.clone()))
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("op {i} lost"));
+        assert_eq!(status, OpStatus::Ok);
+        assert_eq!(data[0] as usize, i);
+    }
+}
+
+#[test]
+fn server_engine_counts_onesided_service() {
+    let mut w = world();
+    let region = w.tb.hosts[1]
+        .regions
+        .register("target", 32, AccessMode::ReadOnly);
+    for _ in 0..5 {
+        w.client.submit(
+            &mut w.tb.sim,
+            PonyCommand::Read { conn: w.conn, region: region.0, offset: 0, len: 4 },
+        );
+    }
+    w.tb.run_ms(5);
+    let id = w.tb.hosts[1].module.engine_for("target").unwrap();
+    let served = w.tb.hosts[1].group.with_engine(id, |e| {
+        e.as_any()
+            .downcast_mut::<snap_repro::pony::PonyEngine>()
+            .unwrap()
+            .stats()
+            .onesided_served
+    });
+    assert_eq!(served, 5);
+}

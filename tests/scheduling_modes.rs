@@ -1,0 +1,130 @@
+//! The three engine scheduling modes (§2.4) exercised through real
+//! Pony Express traffic: dedicated cores, spreading, compacting.
+
+use snap_repro::core::group::SchedulingMode;
+use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+
+fn run_traffic(mode: SchedulingMode, msgs: usize) -> (Testbed, usize) {
+    let mut tb = Testbed::new(TestbedConfig {
+        mode,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "a", |_| {});
+    let mut b = tb.pony_app(1, "b", |_| {});
+    let conn = tb.connect(0, "a", 1, "b");
+    b.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 1024 });
+    for _ in 0..msgs {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 10_000 });
+    }
+    tb.run_ms(200);
+    let delivered = b
+        .take_completions()
+        .into_iter()
+        .filter(|c| matches!(c, PonyCompletion::RecvMsg { .. }))
+        .count();
+    (tb, delivered)
+}
+
+#[test]
+fn dedicated_mode_delivers_everything() {
+    let (_, delivered) = run_traffic(SchedulingMode::Dedicated { cores: vec![0] }, 50);
+    assert_eq!(delivered, 50);
+}
+
+#[test]
+fn spreading_mode_delivers_everything() {
+    let (_, delivered) = run_traffic(SchedulingMode::Spreading, 50);
+    assert_eq!(delivered, 50);
+}
+
+#[test]
+fn compacting_mode_delivers_everything() {
+    let (_, delivered) = run_traffic(SchedulingMode::compacting_default(), 50);
+    assert_eq!(delivered, 50);
+}
+
+#[test]
+fn spreading_pays_wake_overhead_dedicated_burns_spin() {
+    let (mut tb_spread, _) = run_traffic(SchedulingMode::Spreading, 30);
+    let (mut tb_ded, _) = run_traffic(SchedulingMode::Dedicated { cores: vec![0] }, 30);
+    let spread = tb_spread.host_cpu(0);
+    let ded = tb_ded.host_cpu(0);
+    assert!(spread.wake_overhead > Nanos::ZERO, "spreading wakes via interrupts");
+    // Spreading workers only poll-wait through sub-5us pacing gaps;
+    // their spin time stays negligible next to a dedicated core.
+    assert!(
+        spread.spin < Nanos::from_millis(1),
+        "spreading spin {:?} should be bounded to pacing poll-waits",
+        spread.spin
+    );
+    assert_eq!(ded.wake_overhead, Nanos::ZERO, "dedicated never blocks");
+    assert!(ded.spin > Nanos::ZERO, "dedicated burns its core while idle");
+    // The dedicated core burns ~the whole 200ms window; spreading's
+    // total is far below that (the CPU-scaling claim of Fig. 3).
+    assert!(
+        spread.total() * 5 < ded.total(),
+        "spreading {:?} should consume far less than dedicated {:?}",
+        spread.total(),
+        ded.total()
+    );
+}
+
+#[test]
+fn compacting_scales_below_a_full_core_when_idle() {
+    let (mut tb, _) = run_traffic(SchedulingMode::compacting_default(), 10);
+    let cpu = tb.host_cpu(0);
+    // 200 ms window; traffic lasts ~a few ms. With idle-blocking the
+    // spin time must be a small fraction of the window.
+    assert!(
+        cpu.total() < Nanos::from_millis(50),
+        "compacting total {:?} should stay well under the 200ms window",
+        cpu.total()
+    );
+}
+
+#[test]
+fn compacting_scales_out_under_multi_engine_load() {
+    let mut tb = Testbed::new(TestbedConfig {
+        mode: SchedulingMode::Compacting {
+            slo: Nanos::from_micros(20),
+            rebalance_poll: Nanos::from_micros(10),
+            idle_block: Nanos::from_millis(1),
+        },
+        ..TestbedConfig::default()
+    });
+    // Two engines on host 0, both under sustained load.
+    let mut a1 = tb.pony_app(0, "job1", |_| {});
+    let mut a2 = tb.pony_app(0, "job2", |_| {});
+    let mut b1 = tb.pony_app(1, "sink1", |_| {});
+    let mut b2 = tb.pony_app(1, "sink2", |_| {});
+    let c1 = tb.connect(0, "job1", 1, "sink1");
+    let c2 = tb.connect(0, "job2", 1, "sink2");
+    b1.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn: c1, count: 4096 });
+    b2.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn: c2, count: 4096 });
+    assert_eq!(tb.hosts[0].group.worker_count(), 1, "starts compacted");
+    for round in 0..40 {
+        a1.submit(&mut tb.sim, PonyCommand::Send { conn: c1, stream: 0, len: 500_000 });
+        a2.submit(&mut tb.sim, PonyCommand::Send { conn: c2, stream: 0, len: 500_000 });
+        tb.run_us(500);
+        let _ = round;
+    }
+    tb.run_ms(100);
+    assert!(
+        tb.hosts[0].group.worker_count() >= 2,
+        "sustained two-engine load must scale out"
+    );
+    let d1 = b1.take_completions().iter().filter(|c| matches!(c, PonyCompletion::RecvMsg { .. })).count();
+    let d2 = b2.take_completions().iter().filter(|c| matches!(c, PonyCompletion::RecvMsg { .. })).count();
+    assert_eq!(d1 + d2, 80, "all RPCs delivered while scaling");
+}
+
+#[test]
+fn microquanta_budget_throttles_dedicated_free_engines_unaffected() {
+    // Sanity of the budget wiring: spreading-mode workers run under a
+    // MicroQuanta budget (90% of a core); dedicated ones do not.
+    // Saturating traffic must still complete, just with throttle gaps.
+    let (_, delivered) = run_traffic(SchedulingMode::Spreading, 100);
+    assert_eq!(delivered, 100);
+}
