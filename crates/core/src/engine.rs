@@ -84,6 +84,17 @@ pub trait Engine {
     /// NIC receive filters and cease packet processing.
     fn detach(&mut self, sim: &mut Sim);
 
+    /// Called when the engine is resumed: re-attach NIC receive
+    /// filters dropped by [`Engine::detach`]. Engines that attach in
+    /// their constructor may keep the default no-op, but must make
+    /// attachment idempotent if they override this — a resumed
+    /// successor is attached twice (constructor + resume). The upgrade
+    /// rollback path relies on this hook to bring a previously detached
+    /// predecessor back online.
+    fn attach(&mut self, sim: &mut Sim) {
+        let _ = sim;
+    }
+
     /// The application container this engine's work is charged to.
     fn container(&self) -> &str {
         "snap-system"

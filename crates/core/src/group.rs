@@ -33,6 +33,7 @@ use snap_sched::classes::{MicroQuantaBudget, SchedClass};
 use snap_sched::machine::{CoreId, Machine};
 
 use crate::engine::{Engine, EngineId, RunReport};
+use crate::module::ControlError;
 
 /// Shared machine handle (matches `snap_sched::antagonist::MachineHandle`).
 pub type MachineHandle = Rc<RefCell<Machine>>;
@@ -126,6 +127,23 @@ struct Slot {
     /// executed on the engine's worker at the start of its next pass.
     mailbox: Option<Box<dyn FnOnce(&mut dyn Engine)>>,
     last_report: RunReport,
+    /// When the engine last completed a run pass — the progress
+    /// heartbeat sampled by the supervisor for wedge detection.
+    last_pass: Nanos,
+}
+
+/// A supervisor-facing snapshot of one engine's liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Items the engine reports pending (0 for a crashed engine — its
+    /// state is gone).
+    pub pending: u64,
+    /// Virtual time of the engine's last completed run pass.
+    pub last_pass: Nanos,
+    /// True once [`GroupHandle::kill_engine`] destroyed the engine.
+    pub crashed: bool,
+    /// True while the engine is suspended (upgrade/restart in flight).
+    pub suspended: bool,
 }
 
 /// Aggregated CPU consumption of a group.
@@ -163,6 +181,10 @@ pub struct EngineGroup {
     stopped: bool,
     /// Engines currently detached for upgrade are not scheduled.
     suspended: Vec<bool>,
+    /// Engines destroyed by fault injection ([`GroupHandle::kill_engine`]).
+    crashed: Vec<bool>,
+    /// Wedged engines make no progress until this virtual time.
+    stalled_until: Vec<Nanos>,
 }
 
 impl EngineGroup {
@@ -200,6 +222,8 @@ impl GroupHandle {
                 started: false,
                 stopped: false,
                 suspended: Vec::new(),
+                crashed: Vec::new(),
+                stalled_until: Vec::new(),
             })),
         }
     }
@@ -270,8 +294,11 @@ impl GroupHandle {
             worker,
             mailbox: None,
             last_report: RunReport::default(),
+            last_pass: Nanos::ZERO,
         }));
         g.suspended.push(false);
+        g.crashed.push(false);
+        g.stalled_until.push(Nanos::ZERO);
         id
     }
 
@@ -342,7 +369,10 @@ impl GroupHandle {
         let now = sim.now();
         let (worker_idx, action) = {
             let mut g = self.inner.borrow_mut();
-            if g.suspended[id.0 as usize] || g.slots[id.0 as usize].is_none() {
+            if g.suspended[id.0 as usize]
+                || g.crashed[id.0 as usize]
+                || g.slots[id.0 as usize].is_none()
+            {
                 return;
             }
             let wi = g.slots[id.0 as usize].as_ref().expect("checked above").worker;
@@ -399,7 +429,10 @@ impl GroupHandle {
             // Take the engine out of the slot to run it borrow-free.
             let taken = {
                 let mut g = self.inner.borrow_mut();
-                if g.suspended[id.0 as usize] {
+                if g.suspended[id.0 as usize]
+                    || g.crashed[id.0 as usize]
+                    || g.stalled_until[id.0 as usize] > now
+                {
                     continue;
                 }
                 g.slots[id.0 as usize].as_mut().and_then(|slot| {
@@ -424,6 +457,7 @@ impl GroupHandle {
             if let Some(slot) = g.slots[id.0 as usize].as_mut() {
                 slot.engine = engine;
                 slot.last_report = report;
+                slot.last_pass = now;
             }
         }
 
@@ -680,6 +714,115 @@ impl GroupHandle {
         f(slot.engine.as_mut())
     }
 
+    /// Fallible [`GroupHandle::with_engine`]: a missing slot or a
+    /// crashed/suspended engine becomes [`ControlError::Unavailable`]
+    /// instead of a panic, so control RPCs racing a fault or an
+    /// in-flight upgrade get a typed error the caller can retry on.
+    pub fn try_with_engine<R>(
+        &self,
+        id: EngineId,
+        f: impl FnOnce(&mut dyn Engine) -> R,
+    ) -> Result<R, ControlError> {
+        let mut g = self.inner.borrow_mut();
+        let idx = id.0 as usize;
+        if g.slots.get(idx).map_or(true, |s| s.is_none()) {
+            return Err(ControlError::Unavailable(format!("engine {} removed", id.0)));
+        }
+        if g.crashed[idx] {
+            return Err(ControlError::Unavailable(format!("engine {} crashed", id.0)));
+        }
+        if g.suspended[idx] {
+            return Err(ControlError::Unavailable(format!(
+                "engine {} suspended for upgrade",
+                id.0
+            )));
+        }
+        let slot = g.slots[idx].as_mut().expect("checked above");
+        Ok(f(slot.engine.as_mut()))
+    }
+
+    /// Posts mailbox work with a retry loop: an occupied mailbox is
+    /// retried with capped exponential backoff
+    /// ([`costs::CONTROL_RETRY_BASE_NS`] doubling up to
+    /// [`costs::CONTROL_RETRY_CAP_NS`]) until it lands or the
+    /// [`costs::CONTROL_RPC_TIMEOUT_NS`] budget runs out. `on_result`
+    /// fires exactly once with the outcome; `Ok` means the work is
+    /// queued (it runs before the engine's next pass, which for a
+    /// crashed engine is after the supervisor restarts it).
+    pub fn post_with_backoff(
+        &self,
+        sim: &mut Sim,
+        id: EngineId,
+        work: Box<dyn FnOnce(&mut dyn Engine)>,
+        on_result: Box<dyn FnOnce(&mut Sim, Result<(), ControlError>)>,
+    ) {
+        let deadline = sim.now() + Nanos(costs::CONTROL_RPC_TIMEOUT_NS);
+        self.post_attempt(
+            sim,
+            id,
+            work,
+            on_result,
+            deadline,
+            Nanos(costs::CONTROL_RETRY_BASE_NS),
+        );
+    }
+
+    fn post_attempt(
+        &self,
+        sim: &mut Sim,
+        id: EngineId,
+        work: Box<dyn FnOnce(&mut dyn Engine)>,
+        on_result: Box<dyn FnOnce(&mut Sim, Result<(), ControlError>)>,
+        deadline: Nanos,
+        delay: Nanos,
+    ) {
+        enum Post {
+            Gone,
+            Busy,
+            Landed,
+        }
+        let mut work = Some(work);
+        let status = {
+            let mut g = self.inner.borrow_mut();
+            match g.slots.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
+                None => Post::Gone,
+                Some(slot) if slot.mailbox.is_some() => Post::Busy,
+                Some(slot) => {
+                    slot.mailbox = work.take();
+                    Post::Landed
+                }
+            }
+        };
+        match status {
+            Post::Gone => on_result(
+                sim,
+                Err(ControlError::Unavailable(format!("engine {} removed", id.0))),
+            ),
+            Post::Landed => {
+                self.wake(sim, id);
+                on_result(sim, Ok(()));
+            }
+            Post::Busy => {
+                if sim.now() + delay > deadline {
+                    on_result(
+                        sim,
+                        Err(ControlError::Timeout(format!(
+                            "mailbox for engine {} still busy",
+                            id.0
+                        ))),
+                    );
+                    return;
+                }
+                let handle = self.clone();
+                let Some(work) = work.take() else { return };
+                let next_delay = (delay * 2).min(Nanos(costs::CONTROL_RETRY_CAP_NS));
+                sim.schedule_in(delay, move |sim| {
+                    handle.post_attempt(sim, id, work, on_result, deadline, next_delay);
+                });
+            }
+        }
+    }
+
     /// Suspends an engine (upgrade blackout start): it is no longer
     /// scheduled and its detach hook runs (dropping NIC filters).
     pub fn suspend_engine(&self, sim: &mut Sim, id: EngineId) {
@@ -702,15 +845,77 @@ impl GroupHandle {
     }
 
     /// Replaces a suspended engine with its new-version successor and
-    /// resumes scheduling (upgrade blackout end).
+    /// resumes scheduling (upgrade blackout end). Also clears any crash
+    /// or stall flag, so the same path serves supervisor recovery.
     pub fn resume_engine(&self, sim: &mut Sim, id: EngineId, engine: Box<dyn Engine>) {
+        let mut engine = engine;
+        // Re-attach outside the borrow: the hook may drive the NIC.
+        engine.attach(sim);
         {
             let mut g = self.inner.borrow_mut();
             let slot = g.slots[id.0 as usize].as_mut().expect("engine exists");
             slot.engine = engine;
             g.suspended[id.0 as usize] = false;
+            g.crashed[id.0 as usize] = false;
+            g.stalled_until[id.0 as usize] = Nanos::ZERO;
         }
         self.wake(sim, id);
+    }
+
+    /// Destroys an engine in place — the fault-injection model of an
+    /// engine panicking or its worker thread dying. Its in-memory state
+    /// is lost (the slot holds a dead placeholder) and it is never
+    /// scheduled again until [`GroupHandle::resume_engine`] installs a
+    /// successor rebuilt from a checkpoint.
+    pub fn kill_engine(&self, id: EngineId) {
+        let mut g = self.inner.borrow_mut();
+        // Ids that were never allocated are a no-op, so over-approximate
+        // (e.g. randomized) fault plans can't panic the group.
+        if g.slots.get(id.0 as usize).is_some_and(|s| s.is_some()) {
+            g.crashed[id.0 as usize] = true;
+            let slot = g.slots[id.0 as usize].as_mut().expect("checked");
+            // Drop the engine: a crash loses all in-memory state.
+            slot.engine = Box::new(crate::engine::CountingEngine::new("crashed", Nanos(0)));
+            slot.mailbox = None;
+        }
+    }
+
+    /// Wedges an engine for `duration`: it stays resident but makes no
+    /// progress (models a livelock or a stuck syscall). Pending work
+    /// accumulates and its heartbeat stops, which is what supervisor
+    /// wedge detection keys on. The engine resumes by itself when the
+    /// stall lifts unless the supervisor restarts it first.
+    pub fn stall_engine(&self, sim: &mut Sim, id: EngineId, duration: Nanos) {
+        let until = sim.now() + duration;
+        {
+            let mut g = self.inner.borrow_mut();
+            if g.slots.get(id.0 as usize).is_none_or(|s| s.is_none()) {
+                return;
+            }
+            let slot = &mut g.stalled_until[id.0 as usize];
+            *slot = (*slot).max(until);
+        }
+        // Self-resume once the wedge clears (a real livelock may break).
+        let handle = self.clone();
+        sim.schedule_at(until, move |sim| handle.wake(sim, id));
+    }
+
+    /// A liveness snapshot of one engine, or `None` if the slot was
+    /// removed. Crashed engines report zero pending work because their
+    /// state is gone; the `crashed` flag is the signal.
+    pub fn engine_health(&self, id: EngineId) -> Option<EngineHealth> {
+        let g = self.inner.borrow();
+        let slot = g.slots.get(id.0 as usize)?.as_ref()?;
+        Some(EngineHealth {
+            pending: if g.crashed[id.0 as usize] {
+                0
+            } else {
+                slot.engine.pending_work() as u64
+            },
+            last_pass: slot.last_pass,
+            crashed: g.crashed[id.0 as usize],
+            suspended: g.suspended[id.0 as usize],
+        })
     }
 
     /// Takes a suspended engine out entirely (for state serialization
@@ -729,6 +934,7 @@ impl GroupHandle {
                     worker: s.worker,
                     mailbox: None,
                     last_report: s.last_report.clone(),
+                    last_pass: s.last_pass,
                 });
                 s.engine
             })
@@ -985,6 +1191,111 @@ mod tests {
     }
 
     #[test]
+    fn busy_mailbox_rpc_retries_until_it_lands() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        // Occupy the mailbox before the group runs, then start the
+        // group a while later: the backoff RPC must keep retrying until
+        // the first post drains, then land.
+        g.post_to_engine(&mut sim, id, Box::new(|_| {})).unwrap();
+        let result: Rc<RefCell<Option<Result<(), ControlError>>>> =
+            Rc::new(RefCell::new(None));
+        let slot = result.clone();
+        g.post_with_backoff(
+            &mut sim,
+            id,
+            Box::new(|e: &mut dyn Engine| {
+                e.as_any()
+                    .downcast_mut::<CountingEngine>()
+                    .expect("tests only build CountingEngine")
+                    .inject(Nanos::ZERO);
+            }),
+            Box::new(move |_sim, r| {
+                *slot.borrow_mut() = Some(r);
+            }),
+        );
+        assert!(result.borrow().is_none(), "first attempt finds mailbox busy");
+        let g2 = g.clone();
+        sim.schedule_in(Nanos::from_micros(100), move |sim| g2.start(sim));
+        sim.run();
+        assert_eq!(*result.borrow(), Some(Ok(())));
+        assert_eq!(processed(&g, id), 1, "retried post ran on the engine");
+    }
+
+    #[test]
+    fn mailbox_rpc_times_out_against_wedged_mailbox() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        // A crashed engine never services its mailbox: the first post
+        // wedges it and the second must give up with a typed timeout.
+        g.kill_engine(id);
+        g.post_to_engine(&mut sim, id, Box::new(|_| {})).unwrap();
+        let result: Rc<RefCell<Option<Result<(), ControlError>>>> =
+            Rc::new(RefCell::new(None));
+        let slot = result.clone();
+        g.post_with_backoff(
+            &mut sim,
+            id,
+            Box::new(|_| {}),
+            Box::new(move |_sim, r| {
+                *slot.borrow_mut() = Some(r);
+            }),
+        );
+        sim.run();
+        assert!(
+            matches!(*result.borrow(), Some(Err(ControlError::Timeout(_)))),
+            "expected timeout, got {:?}",
+            result.borrow()
+        );
+        // Backoff is capped: the whole retry loop fits in the RPC
+        // budget plus one capped delay.
+        assert!(
+            sim.now()
+                <= Nanos(costs::CONTROL_RPC_TIMEOUT_NS) + Nanos(costs::CONTROL_RETRY_CAP_NS),
+            "retries ran past the budget: {}",
+            sim.now()
+        );
+    }
+
+    #[test]
+    fn try_with_engine_reports_crashed_and_suspended() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        assert!(g.try_with_engine(id, |e| e.name().to_string()).is_ok());
+        g.suspend_engine(&mut sim, id);
+        assert!(matches!(
+            g.try_with_engine(id, |_| ()),
+            Err(ControlError::Unavailable(_))
+        ));
+        let old = g.take_engine(id).expect("suspended");
+        g.resume_engine(&mut sim, id, old);
+        assert!(g.try_with_engine(id, |_| ()).is_ok());
+        g.kill_engine(id);
+        assert!(matches!(
+            g.try_with_engine(id, |_| ()),
+            Err(ControlError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn fault_ops_on_unknown_engine_ids_are_noops() {
+        // Over-approximate fault plans may name engines that were never
+        // created; the group must absorb those without panicking.
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.start(&mut sim);
+        let bogus = EngineId(id.0 + 41);
+        g.kill_engine(bogus);
+        g.stall_engine(&mut sim, bogus, Nanos::from_millis(1));
+        assert!(g.engine_health(bogus).is_none());
+        // The real engine is untouched.
+        assert!(!g.engine_health(id).expect("real engine").crashed);
+        assert!(g.try_with_engine(id, |_| ()).is_ok());
+    }
+
+    #[test]
     fn suspend_stops_scheduling_and_resume_restores() {
         let mut sim = Sim::new();
         let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
@@ -1010,6 +1321,56 @@ mod tests {
         g.resume_engine(&mut sim, id, Box::new(new_engine));
         sim.run();
         assert_eq!(processed(&g, id), 5);
+    }
+
+    #[test]
+    fn killed_engine_stops_and_resume_revives() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 3);
+        g.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(processed(&g, id), 3);
+        g.kill_engine(id);
+        let health = g.engine_health(id).expect("slot kept");
+        assert!(health.crashed);
+        // Work and wakes against the corpse do nothing.
+        g.wake(&mut sim, id);
+        sim.run();
+        assert_eq!(processed(&g, id), 0, "crashed engine lost its state");
+        // Supervisor-style revival: install a successor and resume.
+        let mut revived = CountingEngine::new("e0-r", Nanos(500));
+        revived.inject(sim.now());
+        g.resume_engine(&mut sim, id, Box::new(revived));
+        assert!(!g.engine_health(id).expect("slot kept").crashed);
+        sim.run();
+        assert_eq!(processed(&g, id), 1);
+    }
+
+    #[test]
+    fn stalled_engine_stops_heartbeat_then_self_resumes() {
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
+        g.start(&mut sim);
+        inject(&g, id, sim.now(), 2);
+        g.wake(&mut sim, id);
+        sim.run();
+        let passed_at = g.engine_health(id).expect("slot").last_pass;
+        // Wedge for 1ms, then inject more work mid-stall.
+        g.stall_engine(&mut sim, id, Nanos::from_millis(1));
+        inject(&g, id, sim.now(), 4);
+        g.wake(&mut sim, id);
+        sim.run_until(Nanos::from_micros(500));
+        let mid = g.engine_health(id).expect("slot");
+        assert_eq!(mid.last_pass, passed_at, "no heartbeat progress while wedged");
+        assert!(mid.pending >= 4, "work piles up on a wedged engine");
+        assert_eq!(processed(&g, id), 2);
+        // Stall lifts: the self-wake drains the backlog.
+        sim.run_until(Nanos::from_millis(2));
+        sim.run();
+        assert_eq!(processed(&g, id), 6);
+        assert!(g.engine_health(id).expect("slot").last_pass > passed_at);
     }
 
     #[test]

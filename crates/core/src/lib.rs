@@ -21,7 +21,13 @@
 //!   dispatch, application bootstrap (shared-memory handle passing),
 //!   authentication (§2.3, §2.6).
 //! * [`upgrade::UpgradeOrchestrator`] — transparent upgrade with
-//!   brownout/blackout phases, migrating engines one at a time (§4).
+//!   brownout/blackout phases, migrating engines one at a time (§4),
+//!   rolling back to the still-live predecessor if the successor fails
+//!   mid-migration.
+//! * [`supervisor::Supervisor`] — periodic engine checkpoints (reusing
+//!   the upgrade serialization format), dead/wedged engine detection
+//!   via per-engine progress heartbeats, and restart-from-checkpoint
+//!   recovery.
 //!
 //! CPU and memory are charged to application containers throughout
 //! (§2.5), via the accountants from [`snap_shm`].
@@ -31,12 +37,14 @@ pub mod engine;
 pub mod kernel_inject;
 pub mod group;
 pub mod module;
+pub mod supervisor;
 pub mod upgrade;
 pub mod virt;
 
 pub use engine::{Engine, EngineId, RunReport};
 pub use kernel_inject::{InjectEngine, KernelRing};
 pub use virt::{Route, VirtAddr, VirtEngine};
-pub use group::{EngineGroup, GroupConfig, GroupHandle, SchedulingMode};
+pub use group::{EngineGroup, EngineHealth, GroupConfig, GroupHandle, SchedulingMode};
 pub use module::{ControlError, Module, SnapProcess};
+pub use supervisor::{RestartFactory, Supervisor, SupervisorConfig, SupervisorReport};
 pub use upgrade::{UpgradeOrchestrator, UpgradeReport};

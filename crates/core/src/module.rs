@@ -13,6 +13,10 @@
 //! fast path hand back shared-memory queue endpoints, standing in for
 //! fd-passing over Unix domain sockets.
 
+// Control-plane code must degrade into typed errors, never panic: a
+// malformed RPC or a crashed engine is an expected event here.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 use std::collections::HashMap;
 
 use snap_shm::account::{CpuAccountant, MemoryAccountant};
@@ -32,6 +36,13 @@ pub enum ControlError {
     UnknownMethod(String),
     /// The request payload was malformed or violated a precondition.
     Invalid(String),
+    /// The target engine is crashed, suspended, or gone; the caller
+    /// should retry after the supervisor restarts it.
+    Unavailable(String),
+    /// The engine mailbox is occupied; retry with backoff.
+    Busy(String),
+    /// A mailbox RPC exhausted its retry budget.
+    Timeout(String),
 }
 
 impl std::fmt::Display for ControlError {
@@ -41,6 +52,9 @@ impl std::fmt::Display for ControlError {
             ControlError::UnknownModule(m) => write!(f, "unknown module {m}"),
             ControlError::UnknownMethod(m) => write!(f, "unknown method {m}"),
             ControlError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ControlError::Unavailable(what) => write!(f, "engine unavailable: {what}"),
+            ControlError::Busy(what) => write!(f, "mailbox busy: {what}"),
+            ControlError::Timeout(what) => write!(f, "control rpc timed out: {what}"),
         }
     }
 }

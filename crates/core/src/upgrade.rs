@@ -37,6 +37,33 @@ use crate::group::GroupHandle;
 /// state.
 pub type EngineFactory = Box<dyn FnOnce(Vec<u8>, &mut Sim) -> Box<dyn Engine>>;
 
+/// A factory that may fail: bad serialized state or a successor that
+/// cannot come up. Failure triggers rollback to the predecessor.
+pub type FallibleEngineFactory =
+    Box<dyn FnOnce(Vec<u8>, &mut Sim) -> Result<Box<dyn Engine>, UpgradeError>>;
+
+/// Why a migration could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpgradeError {
+    /// The successor rejected the serialized state (truncated, corrupt,
+    /// or from an incompatible version).
+    BadState(String),
+    /// The successor crashed before taking over (observed through the
+    /// engine slot's crash flag during the blackout window).
+    SuccessorCrashed,
+}
+
+impl std::fmt::Display for UpgradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpgradeError::BadState(why) => write!(f, "bad serialized state: {why}"),
+            UpgradeError::SuccessorCrashed => write!(f, "successor crashed during install"),
+        }
+    }
+}
+
+impl std::error::Error for UpgradeError {}
+
 /// Per-engine upgrade record.
 #[derive(Debug, Clone)]
 pub struct EngineUpgrade {
@@ -48,6 +75,9 @@ pub struct EngineUpgrade {
     pub brownout: Nanos,
     /// Blackout (engine unavailable) duration.
     pub blackout: Nanos,
+    /// True if the migration failed and the predecessor was resumed;
+    /// `blackout` then includes the bounded rollback re-attach cost.
+    pub rolled_back: bool,
 }
 
 /// Result of a full upgrade run.
@@ -78,6 +108,12 @@ impl UpgradeReport {
             .max()
             .unwrap_or(Nanos::ZERO)
     }
+
+    /// Number of engines that failed migration and were rolled back to
+    /// their predecessor.
+    pub fn rollbacks(&self) -> usize {
+        self.engines.iter().filter(|e| e.rolled_back).count()
+    }
 }
 
 struct UpgradeItem {
@@ -85,7 +121,7 @@ struct UpgradeItem {
     id: EngineId,
     /// Control-plane connections to transfer in brownout.
     connections: u32,
-    factory: EngineFactory,
+    factory: FallibleEngineFactory,
 }
 
 /// Orchestrates a transparent upgrade of a set of engines, one at a
@@ -112,6 +148,26 @@ impl UpgradeOrchestrator {
         id: EngineId,
         connections: u32,
         factory: EngineFactory,
+    ) {
+        self.add_engine_fallible(
+            group,
+            id,
+            connections,
+            Box::new(move |state, sim| Ok(factory(state, sim))),
+        );
+    }
+
+    /// Like [`UpgradeOrchestrator::add_engine`], but the factory may
+    /// fail (corrupt state, incompatible version). On failure the
+    /// predecessor engine — kept alive through the blackout — is
+    /// resumed in place, bounding the extra outage to one more fixed
+    /// re-attach cost.
+    pub fn add_engine_fallible(
+        &mut self,
+        group: GroupHandle,
+        id: EngineId,
+        connections: u32,
+        factory: FallibleEngineFactory,
     ) {
         self.items.push(UpgradeItem {
             group,
@@ -173,7 +229,8 @@ impl UpgradeOrchestrator {
             // synthetic engines may model without materializing (the
             // Fig. 9 cell has multi-hundred-MB engines).
             let state_bytes = old.state_bytes().max(state.len() as u64);
-            drop(old);
+            // The predecessor stays alive (suspended, detached) until
+            // the successor is confirmed up; it is the rollback target.
 
             let serialize =
                 Nanos((state_bytes as f64 / costs::UPGRADE_SERIALIZE_BYTES_PER_NS) as u64);
@@ -181,16 +238,53 @@ impl UpgradeOrchestrator {
             let blackout =
                 serialize * 2 + Nanos(costs::UPGRADE_FIXED_BLACKOUT_NS);
             sim.schedule_in(blackout, move |sim| {
-                let new_engine = (item.factory)(state, sim);
-                item.group.resume_engine(sim, item.id, new_engine);
-                let blackout_measured = sim.now() - blackout_start;
-                report.engines.push(EngineUpgrade {
-                    engine: name,
-                    state_bytes,
-                    brownout,
-                    blackout: blackout_measured,
-                });
-                Self::migrate_next(sim, items, report, started, result);
+                // A crash flag raised on the slot during the blackout
+                // window models the successor process dying mid-install.
+                let successor_crashed = item
+                    .group
+                    .engine_health(item.id)
+                    .map(|h| h.crashed)
+                    .unwrap_or(false);
+                let outcome = if successor_crashed {
+                    Err(UpgradeError::SuccessorCrashed)
+                } else {
+                    (item.factory)(state, sim)
+                };
+                match outcome {
+                    Ok(new_engine) => {
+                        drop(old);
+                        item.group.resume_engine(sim, item.id, new_engine);
+                        report.engines.push(EngineUpgrade {
+                            engine: name,
+                            state_bytes,
+                            brownout,
+                            blackout: sim.now() - blackout_start,
+                            rolled_back: false,
+                        });
+                        Self::migrate_next(sim, items, report, started, result);
+                    }
+                    Err(_err) => {
+                        // Roll back: pay one more fixed re-attach cost,
+                        // then resume the still-live predecessor. Its
+                        // `attach` hook re-installs NIC filters; flows
+                        // recover the blackout loss via SACK/RTO as in
+                        // a successful upgrade.
+                        sim.schedule_in(
+                            Nanos(costs::UPGRADE_FIXED_BLACKOUT_NS),
+                            move |sim| {
+                                item.group.resume_engine(sim, item.id, old);
+                                report.engines.push(EngineUpgrade {
+                                    engine: name,
+                                    state_bytes,
+                                    brownout,
+                                    blackout: sim.now() - blackout_start,
+                                    rolled_back: true,
+                                });
+                                Self::migrate_next(sim, items, report, started, result);
+                            },
+                        );
+                    }
+                }
             });
         });
     }
@@ -351,6 +445,109 @@ mod tests {
         // 100 MB at 1.5 GB/s, twice, plus 25 ms fixed: ~158 ms. The
         // paper's 200 ms goal holds for engines of this size.
         assert!(b_large < Nanos::from_millis(250), "blackout {b_large}");
+    }
+
+    #[test]
+    fn failed_factory_rolls_back_to_predecessor() {
+        let mut sim = Sim::new();
+        let g = group();
+        let id = g.add_engine(Box::new(CountingEngine::new("pony0", Nanos(100))));
+        g.start(&mut sim);
+        g.with_engine(id, |e| {
+            let e = e.as_any().downcast_mut::<CountingEngine>().unwrap();
+            for _ in 0..5 {
+                e.inject(Nanos::ZERO);
+            }
+        });
+        g.wake(&mut sim, id);
+        sim.run();
+
+        let mut orch = UpgradeOrchestrator::new();
+        orch.add_engine_fallible(
+            g.clone(),
+            id,
+            2,
+            Box::new(|_state, _sim| {
+                Err(UpgradeError::BadState("version skew".into()))
+            }),
+        );
+        let result = orch.start(&mut sim);
+        sim.run();
+        let report = result.borrow().clone().expect("upgrade finished");
+        assert_eq!(report.rollbacks(), 1);
+        assert!(report.engines[0].rolled_back);
+        // The predecessor came back with its state intact and keeps
+        // processing work.
+        assert_eq!(g.with_engine(id, |e| e.name().to_string()), "pony0");
+        g.with_engine(id, |e| {
+            let e = e.as_any().downcast_mut::<CountingEngine>().unwrap();
+            assert_eq!(e.processed, 5);
+            e.inject(Nanos::ZERO);
+        });
+        g.wake(&mut sim, id);
+        sim.run();
+        let processed = g.with_engine(id, |e| {
+            e.as_any().downcast_mut::<CountingEngine>().unwrap().processed
+        });
+        assert_eq!(processed, 6);
+        // Rollback blackout is bounded: one extra fixed re-attach on
+        // top of the normal serialize + fixed cost.
+        assert!(
+            report.engines[0].blackout
+                <= Nanos(costs::UPGRADE_FIXED_BLACKOUT_NS) * 2 + Nanos::from_millis(1),
+            "rollback blackout {} not bounded",
+            report.engines[0].blackout
+        );
+    }
+
+    #[test]
+    fn successor_crash_during_blackout_rolls_back() {
+        let mut sim = Sim::new();
+        let g = group();
+        let id = g.add_engine(Box::new(CountingEngine::new("pony0", Nanos(100))));
+        g.start(&mut sim);
+        g.with_engine(id, |e| {
+            let e = e.as_any().downcast_mut::<CountingEngine>().unwrap();
+            for _ in 0..3 {
+                e.inject(Nanos::ZERO);
+            }
+        });
+        g.wake(&mut sim, id);
+        sim.run();
+
+        let mut orch = UpgradeOrchestrator::new();
+        orch.add_engine(
+            g.clone(),
+            id,
+            0, // no brownout: blackout starts at t=now
+            Box::new(|state, _sim| {
+                let restored = u64::from_le_bytes(state.try_into().unwrap());
+                let mut e = CountingEngine::new("pony0-v2", Nanos(100));
+                e.processed = restored;
+                Box::new(e)
+            }),
+        );
+        let result = orch.start(&mut sim);
+        // Inject a successor crash mid-blackout (blackout is at least
+        // the fixed 25 ms cost; 1 ms in is safely inside the window).
+        let g2 = g.clone();
+        sim.schedule_in(Nanos::from_millis(1), move |_sim| {
+            g2.kill_engine(id);
+        });
+        sim.run();
+        let report = result.borrow().clone().expect("upgrade finished");
+        assert_eq!(report.rollbacks(), 1);
+        assert!(report.engines[0].rolled_back);
+        // Predecessor is back: not crashed, original name and state.
+        let health = g.engine_health(id).expect("slot live");
+        assert!(!health.crashed);
+        assert_eq!(g.with_engine(id, |e| e.name().to_string()), "pony0");
+        assert_eq!(
+            g.with_engine(id, |e| {
+                e.as_any().downcast_mut::<CountingEngine>().unwrap().processed
+            }),
+            3
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! single-threaded [`Sim`] event loop via a cloneable [`FabricHandle`].
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use snap_sim::costs;
@@ -43,6 +43,10 @@ pub struct FabricConfig {
     pub best_effort_buffer_fraction: f64,
     /// Independent per-packet random loss probability.
     pub loss_prob: f64,
+    /// Independent per-packet payload-corruption probability. Corrupted
+    /// packets keep their original CRC, so the receiving NIC's
+    /// end-to-end check rejects them (§3.4's CRC offload story).
+    pub corrupt_prob: f64,
     /// NIC DMA latency per direction.
     pub nic_dma: Nanos,
     /// Seed for the loss-injection RNG.
@@ -57,6 +61,7 @@ impl Default for FabricConfig {
             switch_buffer_bytes: 4 * 1024 * 1024,
             best_effort_buffer_fraction: 0.8,
             loss_prob: 0.0,
+            corrupt_prob: 0.0,
             nic_dma: Nanos(costs::NIC_DMA_NS),
             seed: 0xF0CA_CC1A,
         }
@@ -72,6 +77,43 @@ pub struct FabricStats {
     pub switch_drops: u64,
     /// Packets dropped by random loss injection.
     pub random_drops: u64,
+    /// Packets dropped at the switch because their src/dst pair was
+    /// partitioned.
+    pub partition_drops: u64,
+    /// Packets whose payload was corrupted in flight (they continue to
+    /// the destination, where the CRC check rejects them).
+    pub corrupted: u64,
+}
+
+/// Why packets destined to one host were lost — the per-host drop
+/// breakdown surfaced through [`FabricHandle::drop_reasons`]. Combines
+/// switch-side fault-injection counters with the destination NIC's own
+/// receive-path drop counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropReasons {
+    /// Packets the NIC rejected because the end-to-end CRC failed.
+    pub crc_bad: u64,
+    /// Packets dropped at the switch by an active fabric partition.
+    pub partition: u64,
+    /// Packets whose payload the fabric corrupted in flight.
+    pub corruption: u64,
+    /// Packets dropped because the target rx ring was full.
+    pub no_buffer: u64,
+}
+
+impl DropReasons {
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.crc_bad + self.partition + self.corruption + self.no_buffer
+    }
+}
+
+/// Per-destination-host fault-injection drop counters kept by the
+/// fabric (the NIC keeps its own receive-path counters).
+#[derive(Debug, Clone, Copy, Default)]
+struct HostFaultDrops {
+    partition: u64,
+    corruption: u64,
 }
 
 struct EgressPort {
@@ -85,9 +127,19 @@ pub struct Fabric {
     nics: HashMap<HostId, VirtNic>,
     uplink_busy: HashMap<HostId, Nanos>,
     egress: HashMap<HostId, EgressPort>,
+    /// Partitioned host pairs, stored normalized (min, max).
+    partitions: HashSet<(HostId, HostId)>,
+    /// Stalled tx queues: (host, queue) -> virtual time the stall lifts.
+    queue_stalls: HashMap<(HostId, u16), Nanos>,
+    /// Fault-injection drops broken down by destination host.
+    fault_drops: HashMap<HostId, HostFaultDrops>,
     rng: Rng,
     stats: FabricStats,
     next_host: HostId,
+}
+
+fn norm_pair(a: HostId, b: HostId) -> (HostId, HostId) {
+    (a.min(b), a.max(b))
 }
 
 impl Fabric {
@@ -98,6 +150,9 @@ impl Fabric {
             nics: HashMap::new(),
             uplink_busy: HashMap::new(),
             egress: HashMap::new(),
+            partitions: HashSet::new(),
+            queue_stalls: HashMap::new(),
+            fault_drops: HashMap::new(),
             rng,
             stats: FabricStats::default(),
             next_host: 0,
@@ -160,6 +215,58 @@ impl FabricHandle {
         self.inner.borrow_mut().cfg.loss_prob = p.clamp(0.0, 1.0);
     }
 
+    /// Sets the per-packet payload-corruption probability (failure
+    /// injection). Corrupted packets carry a stale CRC and are rejected
+    /// by the destination NIC's receive path.
+    pub fn set_corrupt_prob(&self, p: f64) {
+        self.inner.borrow_mut().cfg.corrupt_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Partitions the fabric between `a` and `b`: packets in either
+    /// direction are dropped at the switch until [`FabricHandle::heal`].
+    /// Idempotent.
+    pub fn partition(&self, a: HostId, b: HostId) {
+        self.inner.borrow_mut().partitions.insert(norm_pair(a, b));
+    }
+
+    /// Heals a partition between `a` and `b`. Idempotent; harmless if
+    /// the pair was never partitioned.
+    pub fn heal(&self, a: HostId, b: HostId) {
+        self.inner.borrow_mut().partitions.remove(&norm_pair(a, b));
+    }
+
+    /// Returns true if `a` and `b` are currently partitioned.
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        self.inner.borrow().partitions.contains(&norm_pair(a, b))
+    }
+
+    /// Stalls a host's tx queue until absolute time `until` (models a
+    /// hung DMA channel): packets transmitted on it during the stall
+    /// wait for the stall to lift before serialization starts.
+    pub fn stall_queue_until(&self, host: HostId, queue: u16, until: Nanos) {
+        let mut fabric = self.inner.borrow_mut();
+        let entry = fabric.queue_stalls.entry((host, queue)).or_insert(Nanos::ZERO);
+        *entry = (*entry).max(until);
+    }
+
+    /// The per-host drop breakdown: switch-side fault drops plus the
+    /// destination NIC's own receive-path drop counters.
+    pub fn drop_reasons(&self, host: HostId) -> DropReasons {
+        let fabric = self.inner.borrow();
+        let fault = fabric.fault_drops.get(&host).copied().unwrap_or_default();
+        let (crc_bad, no_buffer) = fabric
+            .nics
+            .get(&host)
+            .map(|n| (n.stats().rx_crc_drops, n.stats().rx_overflow_drops))
+            .unwrap_or((0, 0));
+        DropReasons {
+            crc_bad,
+            partition: fault.partition,
+            corruption: fault.corruption,
+            no_buffer,
+        }
+    }
+
     /// Runs `f` with mutable access to a host's NIC.
     ///
     /// # Panics
@@ -191,11 +298,21 @@ impl FabricHandle {
             // Tx-side DMA: descriptor fetch + payload read from host
             // memory before bits hit the wire.
             let dma_ready = sim.now() + fabric.cfg.nic_dma;
+            // A stalled queue holds its packets until the stall lifts,
+            // but does not occupy the shared uplink while waiting —
+            // other queues' traffic flows around the hung queue.
+            let stall = fabric
+                .queue_stalls
+                .get(&(src, queue))
+                .copied()
+                .filter(|&until| until > sim.now())
+                .unwrap_or(Nanos::ZERO);
+            let ser = transmit_time(wire as u64, gbps);
             let busy = fabric.uplink_busy.get_mut(&src).expect("uplink exists");
             let start = (*busy).max(dma_ready);
-            let end = start + transmit_time(wire as u64, gbps);
+            let end = start + ser;
             *busy = end;
-            (end, src, wire)
+            (end.max(stall + ser), src, wire)
         };
 
         // Tx descriptor completes when serialization finishes.
@@ -213,6 +330,7 @@ impl FabricHandle {
         let ingress = sim.now() + self.inner.borrow().cfg.prop_delay;
         let handle = self.clone();
         sim.schedule_at(ingress, move |sim| {
+            let mut pkt = pkt;
             let departure = {
                 let mut fabric = handle.inner.borrow_mut();
                 // Random loss injection.
@@ -220,6 +338,27 @@ impl FabricHandle {
                 if loss_prob > 0.0 && fabric.rng.chance(loss_prob) {
                     fabric.stats.random_drops += 1;
                     return;
+                }
+                // Partition: the switch forwards nothing between the
+                // partitioned pair.
+                if fabric.partitions.contains(&norm_pair(pkt.src, pkt.dst)) {
+                    fabric.stats.partition_drops += 1;
+                    fabric.fault_drops.entry(pkt.dst).or_default().partition += 1;
+                    return;
+                }
+                // Payload corruption: flip one bit, leave the CRC
+                // stale; the packet still travels and burns bandwidth,
+                // but the destination NIC rejects it.
+                let corrupt_prob = fabric.cfg.corrupt_prob;
+                if corrupt_prob > 0.0
+                    && !pkt.payload.is_empty()
+                    && fabric.rng.chance(corrupt_prob)
+                {
+                    let byte = fabric.rng.below(pkt.payload.len() as u64) as usize;
+                    let bit = fabric.rng.below(8) as u8;
+                    pkt.corrupt(byte, bit);
+                    fabric.stats.corrupted += 1;
+                    fabric.fault_drops.entry(pkt.dst).or_default().corruption += 1;
                 }
                 // Buffer admission at the destination egress port.
                 let limit = match pkt.qos {
@@ -448,6 +587,81 @@ mod tests {
         // The small packet waited behind the big one's serialization.
         assert!(gap < 1_000, "FIFO egress should deliver close together, gap {gap}ns");
         assert!(arrivals[0].as_nanos() > 16_000, "big packet serialization time");
+    }
+
+    #[test]
+    fn partition_drops_until_healed() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        fabric.partition(a, b);
+        assert!(fabric.is_partitioned(a, b));
+        assert!(fabric.is_partitioned(b, a), "partitions are symmetric");
+        fabric.transmit(&mut sim, 0, packet(a, b, 100)).unwrap();
+        fabric.transmit(&mut sim, 0, packet(b, a, 100)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().partition_drops, 2);
+        assert_eq!(fabric.stats().delivered, 0);
+        assert_eq!(fabric.drop_reasons(a).partition, 1);
+        assert_eq!(fabric.drop_reasons(b).partition, 1);
+        fabric.heal(a, b);
+        assert!(!fabric.is_partitioned(a, b));
+        fabric.transmit(&mut sim, 0, packet(a, b, 100)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().delivered, 1);
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_receive_crc() {
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig {
+            corrupt_prob: 1.0,
+            ..FabricConfig::default()
+        });
+        let a = fabric.add_host(NicConfig::default());
+        let b = fabric.add_host(NicConfig::default());
+        for _ in 0..10 {
+            fabric.transmit(&mut sim, 0, packet(a, b, 500)).unwrap();
+        }
+        sim.run();
+        assert_eq!(fabric.stats().corrupted, 10);
+        // Every corrupted packet reached the NIC and was CRC-rejected.
+        assert_eq!(fabric.with_nic(b, |n| n.stats().rx_crc_drops), 10);
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 0);
+        let reasons = fabric.drop_reasons(b);
+        assert_eq!(reasons.crc_bad, 10);
+        assert_eq!(reasons.corruption, 10);
+        assert_eq!(reasons.total(), 20);
+        // Turning corruption off restores clean delivery.
+        fabric.set_corrupt_prob(0.0);
+        fabric.transmit(&mut sim, 0, packet(a, b, 500)).unwrap();
+        sim.run();
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 1);
+    }
+
+    #[test]
+    fn stalled_queue_delays_transmission() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        let stall_until = Nanos::from_micros(500);
+        fabric.stall_queue_until(a, 0, stall_until);
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let arr = arrivals.clone();
+        fabric.with_nic(b, |nic| {
+            nic.set_irq_handler(Rc::new(move |sim: &mut Sim, _q| {
+                arr.borrow_mut().push(sim.now());
+            }));
+            nic.arm_irq(0, true);
+            nic.arm_irq(1, true);
+        });
+        // Queue 0 is stalled; queue 1 is not.
+        fabric.transmit(&mut sim, 0, packet(a, b, 100).with_rss_hash(0)).unwrap();
+        fabric.transmit(&mut sim, 1, packet(a, b, 100).with_rss_hash(1)).unwrap();
+        sim.run();
+        let arrivals = arrivals.borrow();
+        assert_eq!(arrivals.len(), 2);
+        let (fast, slow) = (arrivals[0], arrivals[1]);
+        assert!(fast < stall_until, "unstalled queue delivered promptly at {fast}");
+        assert!(slow > stall_until, "stalled queue held until {stall_until}, got {slow}");
     }
 
     #[test]

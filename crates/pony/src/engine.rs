@@ -32,7 +32,7 @@ use snap_nic::fabric::FabricHandle;
 use snap_nic::packet::{HostId, Packet, QosClass};
 use snap_shm::queue_pair::EngineEndpoint;
 use snap_shm::region::{RegionError, RegionRegistry};
-use snap_sim::codec::{Reader, Writer};
+use snap_sim::codec::{DecodeError, Reader, Writer};
 use snap_sim::costs;
 use snap_sim::{Nanos, Sim};
 
@@ -1274,6 +1274,19 @@ impl Engine for PonyEngine {
         });
     }
 
+    /// Idempotent: re-inserting the filter and re-arming the irq are
+    /// upserts, so a freshly constructed successor (already attached by
+    /// its constructor) is unaffected, while a rolled-back predecessor
+    /// gets its receive path back.
+    fn attach(&mut self, sim: &mut Sim) {
+        let _ = sim;
+        self.detached = false;
+        self.fabric.with_nic(self.cfg.host, |nic| {
+            nic.attach_filter(self.cfg.engine_key, self.cfg.queue);
+            nic.arm_irq(self.cfg.queue, true);
+        });
+    }
+
     fn container(&self) -> &str {
         &self.cfg.container
     }
@@ -1288,9 +1301,9 @@ impl PonyEngine {
     /// re-injected runtime handles (the new Snap instance's fabric,
     /// regions and sessions — transferred during brownout).
     ///
-    /// # Panics
-    ///
-    /// Panics on a corrupt snapshot.
+    /// Returns an error — never panics — on a truncated or corrupt
+    /// snapshot; callers (upgrade factories, supervisor restart) map it
+    /// into a typed failure that triggers rollback or a fresh start.
     pub fn restore(
         state: &[u8],
         mut cfg: PonyEngineConfig,
@@ -1298,38 +1311,38 @@ impl PonyEngine {
         regions: RegionRegistry,
         sessions: SessionTable,
         now: Nanos,
-    ) -> PonyEngine {
+    ) -> Result<PonyEngine, DecodeError> {
         let mut r = Reader::new(state);
-        let name = r.string().expect("name");
+        let name = r.string()?;
         cfg.name = name;
         let mut engine = PonyEngine::new(cfg, fabric, regions, sessions);
-        for _ in 0..r.u32().expect("session count") {
-            engine.owned_sessions.push(r.u64().expect("sid"));
+        for _ in 0..r.u32()? {
+            engine.owned_sessions.push(r.u64()?);
         }
-        let nconns = r.u32().expect("conn count");
+        let nconns = r.u32()?;
         for _ in 0..nconns {
-            let id = r.u64().expect("conn id");
-            let flow = r.u64().expect("flow");
-            let remote_host = r.u32().expect("remote host");
-            let remote_engine = r.u64().expect("remote engine");
-            let has_session = r.bool().expect("has session");
-            let session = r.u64().expect("session");
-            let remote_posted = r.u32().expect("remote_posted");
-            let local_posted = r.u32().expect("local_posted");
-            let small_credits = r.u32().expect("credits");
+            let id = r.u64()?;
+            let flow = r.u64()?;
+            let remote_host = r.u32()?;
+            let remote_engine = r.u64()?;
+            let has_session = r.bool()?;
+            let session = r.u64()?;
+            let remote_posted = r.u32()?;
+            let local_posted = r.u32()?;
+            let small_credits = r.u32()?;
             let mut held = VecDeque::new();
-            for _ in 0..r.u32().expect("held len") {
+            for _ in 0..r.u32()? {
                 held.push_back((
-                    r.u64().expect("op"),
-                    r.u32().expect("stream"),
-                    r.u64().expect("len"),
+                    r.u64()?,
+                    r.u32()?,
+                    r.u64()?,
                 ));
             }
             let mut per_stream: HashMap<u32, VecDeque<u64>> = HashMap::new();
             let mut stream_queue = VecDeque::new();
-            for _ in 0..r.u32().expect("active len") {
-                let stream = r.u32().expect("stream");
-                let msg = r.u64().expect("msg");
+            for _ in 0..r.u32()? {
+                let stream = r.u32()?;
+                let msg = r.u64()?;
                 let q = per_stream.entry(stream).or_default();
                 q.push_back(msg);
                 if q.len() == 1 {
@@ -1337,22 +1350,22 @@ impl PonyEngine {
                 }
             }
             let mut next_msg = HashMap::new();
-            for _ in 0..r.u32().expect("next_msg len") {
-                let s = r.u32().expect("stream");
-                let m = r.u64().expect("msg");
+            for _ in 0..r.u32()? {
+                let s = r.u32()?;
+                let m = r.u64()?;
                 next_msg.insert(s, m);
             }
             let mut next_deliver = HashMap::new();
-            for _ in 0..r.u32().expect("next_deliver len") {
-                let s = r.u32().expect("stream");
-                let m = r.u64().expect("msg");
+            for _ in 0..r.u32()? {
+                let s = r.u32()?;
+                let m = r.u64()?;
                 next_deliver.insert(s, m);
             }
             let mut ready = HashMap::new();
-            for _ in 0..r.u32().expect("ready len") {
-                let s = r.u32().expect("stream");
-                let m = r.u64().expect("msg");
-                let len = r.u64().expect("len");
+            for _ in 0..r.u32()? {
+                let s = r.u32()?;
+                let m = r.u64()?;
+                let len = r.u64()?;
                 ready.insert((s, m), len);
             }
             engine.conns.insert(
@@ -1375,32 +1388,32 @@ impl PonyEngine {
                 },
             );
         }
-        let nflows = r.u32().expect("flow count");
+        let nflows = r.u32()?;
         for _ in 0..nflows {
-            let host = r.u32().expect("peer host");
-            let key = r.u64().expect("peer key");
-            let body = r.bytes().expect("flow body");
-            let flow = Flow::deserialize(body, engine.cfg.cc.clone(), now);
+            let host = r.u32()?;
+            let key = r.u64()?;
+            let body = r.bytes()?;
+            let flow = Flow::deserialize(body, engine.cfg.cc.clone(), now)?;
             engine.flow_peers.insert(flow.id, (host, key));
             // Rebuild the mapper so future conns reuse these flows.
             engine.mapper.flow_for(host, key);
             engine.flows.insert(flow.id, flow);
         }
-        let nsend = r.u32().expect("send count");
+        let nsend = r.u32()?;
         for _ in 0..nsend {
-            let conn = r.u64().expect("conn");
-            let stream = r.u32().expect("stream");
-            let msg = r.u64().expect("msg");
-            let op = r.u64().expect("op");
-            let has_session = r.bool().expect("has session");
-            let session = r.u64().expect("session");
-            let total = r.u64().expect("total");
-            let chunks = r.u32().expect("chunks");
-            let issued_at = Nanos(r.u64().expect("issued"));
-            let next_offset = r.u64().expect("next_offset");
+            let conn = r.u64()?;
+            let stream = r.u32()?;
+            let msg = r.u64()?;
+            let op = r.u64()?;
+            let has_session = r.bool()?;
+            let session = r.u64()?;
+            let total = r.u64()?;
+            let chunks = r.u32()?;
+            let issued_at = Nanos(r.u64()?);
+            let next_offset = r.u64()?;
             let mut acked_offsets = HashSet::new();
-            for _ in 0..r.u32().expect("acked len") {
-                acked_offsets.insert(r.u64().expect("offset"));
+            for _ in 0..r.u32()? {
+                acked_offsets.insert(r.u64()?);
             }
             engine.send_msgs.insert(
                 (conn, stream, msg),
@@ -1415,17 +1428,17 @@ impl PonyEngine {
                 },
             );
         }
-        let nrecv = r.u32().expect("recv count");
+        let nrecv = r.u32()?;
         for _ in 0..nrecv {
-            let conn = r.u64().expect("conn");
-            let stream = r.u32().expect("stream");
-            let msg = r.u64().expect("msg");
-            let total = r.u64().expect("total");
+            let conn = r.u64()?;
+            let stream = r.u32()?;
+            let msg = r.u64()?;
+            let total = r.u64()?;
             let mut offsets = HashSet::new();
             let mut received = 0u64;
-            let n = r.u32().expect("offsets");
+            let n = r.u32()?;
             for _ in 0..n {
-                offsets.insert(r.u64().expect("offset"));
+                offsets.insert(r.u64()?);
             }
             // Reconstruct received byte count from offsets and the MTU
             // chunking rule.
@@ -1441,20 +1454,20 @@ impl PonyEngine {
                     offsets,
                 });
         }
-        let nops = r.u32().expect("op count");
+        let nops = r.u32()?;
         for _ in 0..nops {
-            let op = r.u64().expect("op");
-            let kind = match r.u8().expect("kind") {
+            let op = r.u64()?;
+            let kind = match r.u8()? {
                 0 => OpKind::Send,
                 1 => OpKind::Read,
                 2 => OpKind::Write,
                 3 => OpKind::IndirectRead,
                 _ => OpKind::ScanRead,
             };
-            let conn = r.u64().expect("conn");
-            let has_session = r.bool().expect("has session");
-            let session = r.u64().expect("session");
-            let issued_at = Nanos(r.u64().expect("issued"));
+            let conn = r.u64()?;
+            let has_session = r.bool()?;
+            let session = r.u64()?;
+            let issued_at = Nanos(r.u64()?);
             engine.pending_ops.insert(
                 op,
                 PendingOp {
@@ -1465,6 +1478,6 @@ impl PonyEngine {
                 },
             );
         }
-        engine
+        Ok(engine)
     }
 }

@@ -373,41 +373,44 @@ impl Flow {
 
     /// Restores a flow from [`Flow::serialize`] output.
     ///
-    /// # Panics
-    ///
-    /// Panics on a corrupt snapshot — upgrade state is produced by the
-    /// same binary family and must be well-formed.
-    pub fn deserialize(buf: &[u8], cc_cfg: TimelyConfig, now: Nanos) -> Flow {
+    /// Returns an error — never panics — on a truncated or corrupt
+    /// snapshot, so a bad checkpoint surfaces as a typed failure the
+    /// upgrade rollback and supervisor paths can act on.
+    pub fn deserialize(
+        buf: &[u8],
+        cc_cfg: TimelyConfig,
+        now: Nanos,
+    ) -> Result<Flow, snap_sim::codec::DecodeError> {
         use snap_sim::codec::Reader;
         let mut r = Reader::new(buf);
-        let id = r.u64().expect("flow id");
-        let version = r.u16().expect("version");
-        let next_seq = r.u64().expect("next_seq");
-        let rcv_cum = r.u64().expect("rcv_cum");
-        let nsack = r.u32().expect("sack count");
+        let id = r.u64()?;
+        let version = r.u16()?;
+        let next_seq = r.u64()?;
+        let rcv_cum = r.u64()?;
+        let nsack = r.u32()?;
         let mut rcv_sacks = BTreeSet::new();
         for _ in 0..nsack {
-            rcv_sacks.insert(r.u64().expect("sack"));
+            rcv_sacks.insert(r.u64()?);
         }
-        let nunacked = r.u32().expect("unacked count");
+        let nunacked = r.u32()?;
         let mut rtxq = VecDeque::new();
         for _ in 0..nunacked {
-            let seq = r.u64().expect("seq");
-            let body = r.bytes().expect("frame body");
-            let pkt = PonyPacket::decode(body).expect("frame decodes");
+            let seq = r.u64()?;
+            let body = r.bytes()?;
+            let pkt = PonyPacket::decode(body)?;
             rtxq.push_back((seq, pkt.frame, 0));
         }
-        let nframes = r.u32().expect("frame count");
+        let nframes = r.u32()?;
         let mut outq = VecDeque::new();
         for _ in 0..nframes {
-            let body = r.bytes().expect("frame body");
-            let pkt = PonyPacket::decode(body).expect("frame decodes");
+            let body = r.bytes()?;
+            let pkt = PonyPacket::decode(body)?;
             outq.push_back(Outbound {
                 frame: pkt.frame,
                 enqueued: now,
             });
         }
-        Flow {
+        Ok(Flow {
             id,
             version,
             cc: Timely::new(cc_cfg),
@@ -419,7 +422,7 @@ impl Flow {
             rcv_sacks,
             ack_dirty: false,
             stats: FlowStats::default(),
-        }
+        })
     }
 
     fn encode_frame(&self, f: &OpFrame) -> Vec<u8> {
@@ -645,7 +648,8 @@ mod tests {
         f.enqueue(msg_frame(2), Nanos::ZERO);
         let _sent = f.produce(Nanos::ZERO).unwrap(); // one inflight
         let snapshot = f.serialize();
-        let restored = Flow::deserialize(&snapshot, TimelyConfig::default(), Nanos(5));
+        let restored =
+            Flow::deserialize(&snapshot, TimelyConfig::default(), Nanos(5)).expect("restores");
         assert_eq!(restored.id, f.id);
         assert_eq!(restored.version, 5);
         // The inflight frame re-enters the retransmit queue (with its
@@ -665,7 +669,8 @@ mod tests {
         tx.enqueue(msg_frame(1), Nanos::ZERO);
         let pkt = tx.produce(Nanos::ZERO).unwrap();
         rx.on_packet(&pkt, Nanos(1));
-        let restored = Flow::deserialize(&rx.serialize(), TimelyConfig::default(), Nanos(2));
+        let restored = Flow::deserialize(&rx.serialize(), TimelyConfig::default(), Nanos(2))
+            .expect("restores");
         let mut restored = restored;
         // The duplicate of the already-received packet is suppressed.
         assert_eq!(restored.on_packet(&pkt, Nanos(3)), Accept::Duplicate);

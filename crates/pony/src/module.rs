@@ -13,6 +13,10 @@
 //! out-of-band TCP socket used for version advertisement, §3.1), and
 //! building the engine factories used by transparent upgrades.
 
+// Control-plane code must degrade into typed errors, never panic: a
+// malformed RPC or a crashed engine is an expected event here.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -20,12 +24,14 @@ use std::rc::Rc;
 use snap_core::engine::EngineId;
 use snap_core::group::GroupHandle;
 use snap_core::module::{ControlCx, ControlError, Module};
-use snap_core::upgrade::EngineFactory;
+use snap_core::supervisor::RestartFactory;
+use snap_core::upgrade::{FallibleEngineFactory, UpgradeError};
 use snap_nic::fabric::FabricHandle;
 use snap_nic::packet::HostId;
 use snap_shm::queue_pair::QueuePair;
 use snap_shm::region::RegionRegistry;
 use snap_sim::codec::{Reader, Writer};
+use snap_sim::Sim;
 
 use crate::client::PonyClient;
 use crate::engine::{PonyEngine, PonyEngineConfig, SessionTable};
@@ -74,6 +80,10 @@ pub enum PonyError {
     VersionMismatch,
     /// The named application has no engine on this module's host.
     NoEngine,
+    /// The engine exists but cannot take control work right now —
+    /// crashed (awaiting supervisor restart), suspended for upgrade, or
+    /// not the expected engine type. Retryable.
+    EngineUnavailable(String),
 }
 
 impl std::fmt::Display for PonyError {
@@ -82,8 +92,27 @@ impl std::fmt::Display for PonyError {
             PonyError::UnknownApp => write!(f, "unknown application"),
             PonyError::VersionMismatch => write!(f, "no common wire version"),
             PonyError::NoEngine => write!(f, "application has no engine"),
+            PonyError::EngineUnavailable(why) => write!(f, "engine unavailable: {why}"),
         }
     }
+}
+
+/// Runs `f` against the [`PonyEngine`] behind `id`, converting a
+/// missing/crashed/suspended slot or a non-Pony placeholder into a
+/// typed, retryable error instead of a panic.
+fn with_pony_engine<R>(
+    group: &GroupHandle,
+    id: EngineId,
+    f: impl FnOnce(&mut PonyEngine) -> R,
+) -> Result<R, PonyError> {
+    group
+        .try_with_engine(id, |e| {
+            e.as_any()
+                .downcast_mut::<PonyEngine>()
+                .map(f)
+                .ok_or_else(|| PonyError::EngineUnavailable("not a pony engine".into()))
+        })
+        .map_err(|e| PonyError::EngineUnavailable(e.to_string()))?
 }
 
 impl std::error::Error for PonyError {}
@@ -171,14 +200,10 @@ impl PonyModule {
             self.sessions.clone(),
         );
         let id = self.group.add_engine(Box::new(engine));
-        // Give the engine its wake handle for pacing/RTO timers.
+        // Give the engine its wake handle for pacing/RTO timers. The
+        // engine was just added, so this cannot miss.
         let wake = self.group.wake_handle(id);
-        self.group.with_engine(id, |e| {
-            e.as_any()
-                .downcast_mut::<PonyEngine>()
-                .expect("pony engine")
-                .set_wake(wake.clone());
-        });
+        let _ = with_pony_engine(&self.group, id, |e| e.set_wake(wake.clone()));
         self.queue_owner.borrow_mut().insert(queue, id);
         self.engines.insert(app.to_string(), id);
         self.net.borrow_mut().entries.insert(
@@ -243,12 +268,11 @@ impl PonyModule {
         self.next_session += 1;
         let (app_ep, engine_ep) = QueuePair::create(depth);
         self.sessions.borrow_mut().insert(sid, engine_ep);
-        self.group.with_engine(engine_id, |e| {
-            e.as_any()
-                .downcast_mut::<PonyEngine>()
-                .expect("pony engine")
-                .add_session(sid);
-        });
+        if let Err(e) = with_pony_engine(&self.group, engine_id, |e| e.add_session(sid)) {
+            // Undo the half-open session so a retry starts clean.
+            self.sessions.borrow_mut().remove(&sid);
+            return Err(e);
+        }
         if let Some(entry) = self
             .net
             .borrow_mut()
@@ -288,25 +312,18 @@ impl PonyModule {
         };
         let version = negotiate_version(remote.versions.0, remote.versions.1)
             .ok_or(PonyError::VersionMismatch)?;
-        local.group.with_engine(local.engine_id, |e| {
-            e.as_any()
-                .downcast_mut::<PonyEngine>()
-                .expect("pony engine")
-                .establish_conn(conn, remote.host, remote.engine_key, version, local.session);
-        });
-        remote.group.with_engine(remote.engine_id, |e| {
-            e.as_any()
-                .downcast_mut::<PonyEngine>()
-                .expect("pony engine")
-                .establish_conn(conn, local.host, local.engine_key, version, remote.session);
-        });
+        with_pony_engine(&local.group, local.engine_id, |e| {
+            e.establish_conn(conn, remote.host, remote.engine_key, version, local.session);
+        })?;
+        with_pony_engine(&remote.group, remote.engine_id, |e| {
+            e.establish_conn(conn, local.host, local.engine_key, version, remote.session);
+        })?;
         Ok(conn)
     }
 
-    /// Builds the upgrade factory for an app's engine: the new-version
-    /// engine is reconstructed from serialized state plus re-injected
-    /// runtime handles (§4).
-    pub fn upgrade_factory(&self, app: &str) -> Result<EngineFactory, PonyError> {
+    /// The engine config + runtime handles needed to rebuild an app's
+    /// engine from serialized state.
+    fn rebuild_parts(&self, app: &str) -> Result<(EngineId, PonyEngineConfig), PonyError> {
         let &engine_id = self.engines.get(app).ok_or(PonyError::NoEngine)?;
         let entry = self
             .net
@@ -315,10 +332,6 @@ impl PonyModule {
             .get(&(self.host, app.to_string()))
             .cloned()
             .ok_or(PonyError::UnknownApp)?;
-        let fabric = self.fabric.clone();
-        let regions = self.regions.clone();
-        let sessions = self.sessions.clone();
-        let group = self.group.clone();
         let mut cfg = PonyEngineConfig::new("restored", self.host, entry.engine_key);
         cfg.queue = {
             let owners = self.queue_owner.borrow();
@@ -329,9 +342,67 @@ impl PonyModule {
                 .unwrap_or(0)
         };
         cfg.container = app.to_string();
+        Ok((engine_id, cfg))
+    }
+
+    /// Builds the upgrade factory for an app's engine: the new-version
+    /// engine is reconstructed from serialized state plus re-injected
+    /// runtime handles (§4). A corrupt snapshot surfaces as
+    /// [`UpgradeError::BadState`], which makes the orchestrator roll
+    /// back to the still-live predecessor.
+    pub fn upgrade_factory(&self, app: &str) -> Result<FallibleEngineFactory, PonyError> {
+        let (engine_id, cfg) = self.rebuild_parts(app)?;
+        let fabric = self.fabric.clone();
+        let regions = self.regions.clone();
+        let sessions = self.sessions.clone();
+        let group = self.group.clone();
         Ok(Box::new(move |state, sim| {
             let now = sim.now();
-            let mut engine = PonyEngine::restore(&state, cfg, fabric, regions, sessions, now);
+            let mut engine =
+                PonyEngine::restore(&state, cfg, fabric, regions, sessions, now)
+                    .map_err(|e| UpgradeError::BadState(e.to_string()))?;
+            engine.set_wake(group.wake_handle(engine_id));
+            Ok(Box::new(engine))
+        }))
+    }
+
+    /// Builds the supervisor restart factory for an app's engine: like
+    /// [`PonyModule::upgrade_factory`] but reusable across restarts.
+    /// A checkpoint that fails to deserialize falls back to a fresh
+    /// engine with the host's sessions re-injected (without the
+    /// checkpoint the per-engine ownership split is unknowable) —
+    /// connection state is lost but control-plane attachments survive,
+    /// and peers recover via their own SACK/RTO machinery.
+    pub fn restart_factory(&self, app: &str) -> Result<RestartFactory, PonyError> {
+        let (engine_id, cfg) = self.rebuild_parts(app)?;
+        let fabric = self.fabric.clone();
+        let regions = self.regions.clone();
+        let sessions = self.sessions.clone();
+        let group = self.group.clone();
+        Ok(Rc::new(move |state: Vec<u8>, sim: &mut Sim| {
+            let now = sim.now();
+            let mut engine = match PonyEngine::restore(
+                &state,
+                cfg.clone(),
+                fabric.clone(),
+                regions.clone(),
+                sessions.clone(),
+                now,
+            ) {
+                Ok(engine) => engine,
+                Err(_) => {
+                    let mut fresh = PonyEngine::new(
+                        cfg.clone(),
+                        fabric.clone(),
+                        regions.clone(),
+                        sessions.clone(),
+                    );
+                    for sid in sessions.borrow().keys() {
+                        fresh.add_session(*sid);
+                    }
+                    fresh
+                }
+            };
             engine.set_wake(group.wake_handle(engine_id));
             Box::new(engine)
         }))
@@ -903,7 +974,7 @@ mod tests {
         let server_engine = w.modules[1].engine_for("server").unwrap();
         let factory = w.modules[1].upgrade_factory("server").unwrap();
         let mut orch = UpgradeOrchestrator::new();
-        orch.add_engine(w.groups[1].clone(), server_engine, 2, factory);
+        orch.add_engine_fallible(w.groups[1].clone(), server_engine, 2, factory);
         let result = orch.start(&mut w.sim);
         drain(&mut w, 200);
         assert!(result.borrow().is_some(), "upgrade completed");

@@ -1,0 +1,266 @@
+//! Seed-driven fault-injection plans.
+//!
+//! Snap's robustness story (§4, §6 of the paper) rests on surviving
+//! exactly the failures production inflicts: engine crashes, wedged
+//! (non-progressing) engines, NIC queue stalls, switch partitions, and
+//! on-the-wire corruption caught by end-to-end CRCs. A [`FaultPlan`]
+//! scripts those failures at virtual timestamps so recovery machinery
+//! can be exercised deterministically: the same seed always produces
+//! the same fault sequence at the same instants.
+//!
+//! The sim crate sits at the bottom of the dependency stack, so fault
+//! events name their targets with plain integers (host ids, engine
+//! slots, queue ids). The test harness that owns the fabric and engine
+//! groups interprets the events via the injector callback passed to
+//! [`FaultPlan::install`].
+//!
+//! # Examples
+//!
+//! ```
+//! use snap_sim::{fault::{FaultEvent, FaultPlan}, Nanos, Sim};
+//!
+//! let plan = FaultPlan::new()
+//!     .at(Nanos::from_millis(10), FaultEvent::EngineCrash { host: 0, engine: 1 })
+//!     .at(Nanos::from_millis(20), FaultEvent::Partition { a: 0, b: 1 })
+//!     .at(Nanos::from_millis(25), FaultEvent::Heal { a: 0, b: 1 });
+//!
+//! let mut sim = Sim::new();
+//! let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+//! let l = log.clone();
+//! plan.install(&mut sim, move |_sim, ev| l.borrow_mut().push(ev.clone()));
+//! sim.run();
+//! assert_eq!(log.borrow().len(), 3);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::Sim;
+use crate::rng::Rng;
+use crate::time::Nanos;
+
+/// One injectable failure, scheduled at a virtual timestamp.
+///
+/// Targets are plain integers because this crate cannot name fabric or
+/// engine-group types; the installer's injector maps them onto live
+/// objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Kill an engine outright — the model of an engine panicking or
+    /// its thread dying. The engine makes no further progress and its
+    /// state is lost; recovery must restart from a checkpoint.
+    EngineCrash {
+        /// Host owning the engine group.
+        host: u32,
+        /// Engine slot within the group.
+        engine: u32,
+    },
+    /// Wedge an engine: it stays alive but stops making progress for
+    /// `duration` (models a livelock or a stuck ioctl). Heartbeat
+    /// monitoring should flag it once its pending work ages past the
+    /// wedge threshold.
+    EngineStall {
+        /// Host owning the engine group.
+        host: u32,
+        /// Engine slot within the group.
+        engine: u32,
+        /// How long the engine stays wedged.
+        duration: Nanos,
+    },
+    /// Stall a NIC queue: packets queued on it neither transmit nor
+    /// deliver until the stall lifts (models a hung DMA channel).
+    NicQueueStall {
+        /// Host owning the NIC.
+        host: u32,
+        /// Queue id on that NIC.
+        queue: u16,
+        /// How long the queue stays stalled.
+        duration: Nanos,
+    },
+    /// Partition the fabric between two hosts: packets in either
+    /// direction are dropped at the switch until a matching
+    /// [`FaultEvent::Heal`].
+    Partition {
+        /// One endpoint host.
+        a: u32,
+        /// The other endpoint host.
+        b: u32,
+    },
+    /// Heal a previously injected partition between two hosts.
+    Heal {
+        /// One endpoint host.
+        a: u32,
+        /// The other endpoint host.
+        b: u32,
+    },
+    /// Set the per-packet payload-corruption probability on the fabric.
+    /// Corrupted packets carry a stale CRC and must be rejected by the
+    /// receive path. A rate of zero turns corruption off.
+    CorruptRate {
+        /// Probability in `[0, 1]` that a delivered packet's payload is
+        /// flipped.
+        prob: f64,
+    },
+}
+
+/// A time-ordered script of fault events.
+///
+/// Build one explicitly with [`FaultPlan::at`] or derive one from a
+/// seed with [`FaultPlan::randomized`]; install it into a simulation
+/// with [`FaultPlan::install`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(Nanos, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds `event` at absolute virtual time `at` (builder style).
+    pub fn at(mut self, at: Nanos, event: FaultEvent) -> Self {
+        self.entries.push((at, event));
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn entries(&self) -> &[(Nanos, FaultEvent)] {
+        &self.entries
+    }
+
+    /// Returns true if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Derives a plan from a seed: `count` faults drawn uniformly over
+    /// `(0, horizon)` against `hosts` hosts with `engines_per_host`
+    /// engine slots each. Partitions always heal within the horizon and
+    /// corruption bursts always end, so a randomized plan leaves the
+    /// world connected and clean once the horizon passes.
+    pub fn randomized(
+        seed: u64,
+        horizon: Nanos,
+        hosts: u32,
+        engines_per_host: u32,
+        count: usize,
+    ) -> Self {
+        assert!(hosts >= 2, "fault plans need at least two hosts");
+        assert!(engines_per_host >= 1, "need at least one engine slot");
+        let mut rng = Rng::new(seed).stream(0x0fa1_7000);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at = Nanos(1 + rng.below(horizon.as_nanos().max(2) - 1));
+            let host = rng.below(hosts as u64) as u32;
+            let engine = rng.below(engines_per_host as u64) as u32;
+            // Transient faults last 1-10% of the horizon.
+            let dur = Nanos(horizon.as_nanos() / 100 * (1 + rng.below(10)));
+            let end = Nanos((at + dur).as_nanos().min(horizon.as_nanos()));
+            match rng.below(5) {
+                0 => plan = plan.at(at, FaultEvent::EngineCrash { host, engine }),
+                1 => {
+                    plan = plan.at(at, FaultEvent::EngineStall { host, engine, duration: dur });
+                }
+                2 => {
+                    let other = (host + 1 + rng.below((hosts - 1) as u64) as u32) % hosts;
+                    plan = plan
+                        .at(at, FaultEvent::Partition { a: host, b: other })
+                        .at(end, FaultEvent::Heal { a: host, b: other });
+                }
+                3 => {
+                    let queue = rng.below(4) as u16;
+                    plan = plan.at(at, FaultEvent::NicQueueStall { host, queue, duration: dur });
+                }
+                _ => {
+                    let prob = (1 + rng.below(20)) as f64 / 1000.0;
+                    plan = plan
+                        .at(at, FaultEvent::CorruptRate { prob })
+                        .at(end, FaultEvent::CorruptRate { prob: 0.0 });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Schedules every event into `sim`; at each event's timestamp the
+    /// `injector` is called with the event. The injector is typically a
+    /// closure over the testbed's fabric and engine-group handles.
+    pub fn install<F>(&self, sim: &mut Sim, injector: F)
+    where
+        F: FnMut(&mut Sim, &FaultEvent) + 'static,
+    {
+        let injector = Rc::new(RefCell::new(injector));
+        for (at, event) in &self.entries {
+            let injector = injector.clone();
+            let event = event.clone();
+            sim.schedule_at(*at, move |sim| {
+                (injector.borrow_mut())(sim, &event);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_at_their_timestamps() {
+        let plan = FaultPlan::new()
+            .at(Nanos(100), FaultEvent::Partition { a: 0, b: 1 })
+            .at(Nanos(50), FaultEvent::EngineCrash { host: 1, engine: 0 });
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        plan.install(&mut sim, move |sim, ev| {
+            l.borrow_mut().push((sim.now(), ev.clone()));
+        });
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        // Earlier timestamp fires first, independent of insertion order.
+        assert_eq!(log[0].0, Nanos(50));
+        assert!(matches!(log[0].1, FaultEvent::EngineCrash { host: 1, engine: 0 }));
+        assert_eq!(log[1].0, Nanos(100));
+    }
+
+    #[test]
+    fn randomized_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::randomized(7, Nanos::from_millis(100), 4, 2, 12);
+        let b = FaultPlan::randomized(7, Nanos::from_millis(100), 4, 2, 12);
+        let c = FaultPlan::randomized(8, Nanos::from_millis(100), 4, 2, 12);
+        assert_eq!(a.entries(), b.entries());
+        assert_ne!(a.entries(), c.entries());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn randomized_partitions_always_heal() {
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 40);
+        let mut open: Vec<(u32, u32)> = Vec::new();
+        let mut entries = plan.entries().to_vec();
+        entries.sort_by_key(|(at, _)| *at);
+        for (_, ev) in &entries {
+            match ev {
+                FaultEvent::Partition { a, b } => open.push((*a, *b)),
+                FaultEvent::Heal { a, b } => {
+                    let idx = open.iter().position(|p| p == &(*a, *b)).expect("heal matches");
+                    open.remove(idx);
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "unhealed partitions: {open:?}");
+    }
+
+    #[test]
+    fn randomized_horizon_bounds_all_events() {
+        let horizon = Nanos::from_millis(10);
+        let plan = FaultPlan::randomized(3, horizon, 2, 1, 30);
+        for (at, _) in plan.entries() {
+            assert!(*at <= horizon, "event at {at} beyond horizon {horizon}");
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod codec;
 pub mod costs;
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -16,9 +16,12 @@ use snap_nic::packet::HostId;
 use snap_pony::client::PonyClient;
 use snap_pony::engine::PonyEngineConfig;
 use snap_pony::module::{new_net, PonyModule, PonyNetHandle};
+use snap_core::engine::EngineId;
+use snap_core::supervisor::{Supervisor, SupervisorConfig};
 use snap_sched::machine::Machine;
 use snap_shm::account::{CpuAccountant, MemoryAccountant};
 use snap_shm::region::RegionRegistry;
+use snap_sim::fault::{FaultEvent, FaultPlan};
 use snap_sim::{Nanos, Sim};
 use snap_tcp::stack::{TcpConfig, TcpHost};
 
@@ -203,6 +206,69 @@ impl Testbed {
     /// The configured scheduling mode.
     pub fn mode(&self) -> &SchedulingMode {
         &self.cfg.mode
+    }
+
+    /// Installs a fault plan: each scripted [`FaultEvent`] is mapped
+    /// onto this rack's live fabric and engine groups at its scheduled
+    /// virtual timestamp. Events naming hosts or engines that don't
+    /// exist are ignored (randomized plans may over-approximate).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let fabric = self.fabric.clone();
+        let groups: Vec<GroupHandle> = self.hosts.iter().map(|h| h.group.clone()).collect();
+        plan.install(&mut self.sim, move |sim, ev| match *ev {
+            FaultEvent::EngineCrash { host, engine } => {
+                if let Some(g) = groups.get(host as usize) {
+                    g.kill_engine(EngineId(engine));
+                }
+            }
+            FaultEvent::EngineStall {
+                host,
+                engine,
+                duration,
+            } => {
+                if let Some(g) = groups.get(host as usize) {
+                    g.stall_engine(sim, EngineId(engine), duration);
+                }
+            }
+            FaultEvent::NicQueueStall {
+                host,
+                queue,
+                duration,
+            } => {
+                fabric.stall_queue_until(host, queue, sim.now() + duration);
+            }
+            FaultEvent::Partition { a, b } => fabric.partition(a, b),
+            FaultEvent::Heal { a, b } => fabric.heal(a, b),
+            FaultEvent::CorruptRate { prob } => fabric.set_corrupt_prob(prob),
+        });
+    }
+
+    /// Puts an app's engine on `host` under supervision: periodic
+    /// checkpoints plus crash/wedge detection, restarting the engine
+    /// from its last checkpoint via the Pony restart factory.
+    pub fn supervise_app(
+        &mut self,
+        host: usize,
+        app: &str,
+        cfg: SupervisorConfig,
+    ) -> Supervisor {
+        let engine_id = self.hosts[host]
+            .module
+            .engine_for(app)
+            .expect("app has an engine");
+        let factory = self.hosts[host]
+            .module
+            .restart_factory(app)
+            .expect("app registered");
+        let supervisor = Supervisor::new(cfg);
+        supervisor.watch(
+            &mut self.sim,
+            self.hosts[host].group.clone(),
+            engine_id,
+            factory,
+        );
+        supervisor.start(&mut self.sim);
+        supervisor
     }
 
     /// Total Snap CPU seconds consumed on a host so far.

@@ -1,0 +1,308 @@
+//! Fault injection and recovery, end to end: a scripted [`FaultPlan`]
+//! crashes engines, partitions the fabric, and corrupts packets while
+//! two hosts exchange messages; engine supervision (checkpoint/restart)
+//! and the transport's SACK/RTO machinery must together deliver every
+//! message exactly once, in order. A negative control shows the same
+//! faults are fatal without supervision, and a separate scenario drives
+//! the upgrade-rollback path by crashing the successor mid-migration.
+
+use proptest::prelude::*;
+
+use snap_repro::core::supervisor::SupervisorConfig;
+use snap_repro::core::upgrade::UpgradeOrchestrator;
+use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::pony::engine::{PonyEngine, PonyEngineConfig};
+use snap_repro::pony::flow::Flow;
+use snap_repro::pony::timely::TimelyConfig;
+use snap_repro::sim::fault::{FaultEvent, FaultPlan};
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::Testbed;
+
+fn recv_msgs(client: &mut snap_repro::pony::PonyClient, out: &mut Vec<u64>) {
+    for c in client.take_completions() {
+        if let PonyCompletion::RecvMsg { msg, .. } = c {
+            out.push(msg);
+        }
+    }
+}
+
+/// The tentpole scenario: 2% payload corruption throughout, the
+/// sender engine crashes mid-run, and a 500 ms partition cuts the rack
+/// in half — yet with supervision every message arrives exactly once,
+/// in order.
+#[test]
+fn echo_survives_crash_partition_and_corruption() {
+    let mut tb = Testbed::pair();
+    let mut a = tb.pony_app(0, "client", |_| {});
+    let mut b = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "client", 1, "server");
+    b.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 256 });
+
+    // Tight checkpoints so the crash restores near-current state; the
+    // crash lands during a quiet window, so recovery is lossless.
+    let sup = tb.supervise_app(
+        0,
+        "client",
+        SupervisorConfig {
+            checkpoint_interval: Nanos::from_millis(1),
+            ..SupervisorConfig::default()
+        },
+    );
+
+    let plan = FaultPlan::new()
+        .at(Nanos(1), FaultEvent::CorruptRate { prob: 0.02 })
+        .at(
+            Nanos::from_millis(30),
+            FaultEvent::EngineCrash { host: 0, engine: 0 },
+        )
+        .at(
+            Nanos::from_millis(150),
+            FaultEvent::Partition { a: 0, b: 1 },
+        )
+        .at(Nanos::from_millis(650), FaultEvent::Heal { a: 0, b: 1 });
+    tb.install_fault_plan(&plan);
+
+    let mut got = Vec::new();
+    // Phase A: before the crash (quiesces by t=30ms).
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    // Phase B: after the restart (restart blackout is ~25 ms).
+    while tb.sim.now() < Nanos::from_millis(80) {
+        tb.run_ms(5);
+    }
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    // Phase C: submitted into the partition; retransmission carries
+    // them across once the link heals.
+    while tb.sim.now() < Nanos::from_millis(200) {
+        tb.run_ms(5);
+    }
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    // Let the heal + retransmissions finish.
+    while tb.sim.now() < Nanos::from_millis(3_000) {
+        tb.run_ms(50);
+        recv_msgs(&mut b, &mut got);
+    }
+
+    assert_eq!(
+        got,
+        (0..30).collect::<Vec<u64>>(),
+        "every message exactly once, in order"
+    );
+    let report = sup.report();
+    assert_eq!(report.crash_restarts, 1, "supervisor restarted the crashed engine");
+    assert!(report.checkpoints > 10, "periodic checkpoints accumulated");
+
+    // Fault accounting: the server-side host saw both corruption drops
+    // (counted at the switch) and CRC rejections (counted at the NIC),
+    // and the partition dropped packets in at least one direction.
+    let dr1 = tb.fabric.drop_reasons(1);
+    assert!(dr1.corruption > 0, "corruption events recorded: {dr1:?}");
+    assert!(dr1.crc_bad > 0, "corrupted packets rejected by CRC: {dr1:?}");
+    let dr0 = tb.fabric.drop_reasons(0);
+    assert!(
+        dr0.partition + dr1.partition > 0,
+        "partition dropped packets: {dr0:?} {dr1:?}"
+    );
+}
+
+/// Negative control: the identical crash without a supervisor is fatal
+/// — the sender engine never comes back and later messages are lost.
+#[test]
+fn without_supervision_the_same_crash_is_fatal() {
+    let mut tb = Testbed::pair();
+    let mut a = tb.pony_app(0, "client", |_| {});
+    let mut b = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "client", 1, "server");
+    b.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 256 });
+
+    let plan = FaultPlan::new().at(
+        Nanos::from_millis(30),
+        FaultEvent::EngineCrash { host: 0, engine: 0 },
+    );
+    tb.install_fault_plan(&plan);
+
+    let mut got = Vec::new();
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    while tb.sim.now() < Nanos::from_millis(80) {
+        tb.run_ms(5);
+    }
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    while tb.sim.now() < Nanos::from_millis(2_000) {
+        tb.run_ms(50);
+        recv_msgs(&mut b, &mut got);
+    }
+    assert!(
+        got.len() < 20,
+        "without supervision the post-crash messages must be lost, got {}",
+        got.len()
+    );
+}
+
+/// A successor crash injected mid-blackout makes the upgrade roll back
+/// to the still-live predecessor; the extra outage is bounded (well
+/// under the paper's 250 ms envelope) and traffic continues on the
+/// original engine.
+#[test]
+fn successor_crash_mid_upgrade_rolls_back_within_blackout_budget() {
+    let mut tb = Testbed::pair();
+    let mut a = tb.pony_app(0, "client", |_| {});
+    let mut b = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "client", 1, "server");
+    b.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 256 });
+
+    let mut got = Vec::new();
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 700 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+
+    // Upgrade the server engine; crash the successor 1 ms into the
+    // blackout (no brownout: connections = 0, so blackout starts now).
+    let server_engine = tb.hosts[1].module.engine_for("server").unwrap();
+    let factory = tb.hosts[1].module.upgrade_factory("server").unwrap();
+    let mut orch = UpgradeOrchestrator::new();
+    orch.add_engine_fallible(tb.hosts[1].group.clone(), server_engine, 0, factory);
+    let crash_at = tb.sim.now() + Nanos::from_millis(1);
+    let plan = FaultPlan::new().at(crash_at, FaultEvent::EngineCrash { host: 1, engine: 0 });
+    tb.install_fault_plan(&plan);
+    let result = orch.start(&mut tb.sim);
+
+    tb.run_ms(300);
+    let report = result.borrow().clone().expect("upgrade finished");
+    assert_eq!(report.rollbacks(), 1, "migration rolled back");
+    assert!(report.engines[0].rolled_back);
+    assert!(
+        report.engines[0].blackout < Nanos::from_millis(250),
+        "rollback blackout {} within the SLO envelope",
+        report.engines[0].blackout
+    );
+
+    // The predecessor keeps serving: the same connection and stream
+    // continue, exactly once and in order.
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 700 });
+        tb.run_ms(2);
+        recv_msgs(&mut b, &mut got);
+    }
+    while tb.sim.now() < Nanos::from_millis(2_000) {
+        tb.run_ms(50);
+        recv_msgs(&mut b, &mut got);
+    }
+    assert_eq!(
+        got,
+        (0..20).collect::<Vec<u64>>(),
+        "stream survived the rolled-back upgrade intact"
+    );
+}
+
+// Checkpoint robustness properties: deserialization of damaged
+// snapshots must fail with a typed error — the supervisor's fresh-start
+// fallback and the upgrade rollback both depend on it never panicking.
+proptest! {
+    /// Truncating or bit-flipping a serialized flow snapshot must
+    /// produce `Err` (or a benign `Ok`), never a panic.
+    #[test]
+    fn corrupt_flow_checkpoints_never_panic(
+        msgs in 1usize..5,
+        cut in 0usize..400,
+        flip_byte in 0usize..400,
+        flip_bit in 0u8..8,
+    ) {
+        let mut f = Flow::new(7, 5, TimelyConfig::default());
+        for i in 0..msgs {
+            f.enqueue(
+                snap_repro::pony::wire::OpFrame::MsgChunk {
+                    conn: 1,
+                    stream: 0,
+                    msg: i as u64,
+                    offset: 0,
+                    total: 64,
+                    len: 64,
+                },
+                Nanos::ZERO,
+            );
+        }
+        let _ = f.produce(Nanos::ZERO);
+        let snapshot = f.serialize();
+
+        // Truncation at every possible point is an error or a clean parse.
+        let cut = cut.min(snapshot.len());
+        let _ = Flow::deserialize(&snapshot[..cut], TimelyConfig::default(), Nanos(1));
+
+        // A single bit flip anywhere must also be handled.
+        let mut flipped = snapshot.clone();
+        let idx = flip_byte % flipped.len();
+        flipped[idx] ^= 1 << flip_bit;
+        let _ = Flow::deserialize(&flipped, TimelyConfig::default(), Nanos(1));
+    }
+
+    /// The same property for a full engine checkpoint through
+    /// [`PonyEngine::restore`]: corrupt input yields `Err`, not a panic.
+    #[test]
+    fn corrupt_engine_checkpoints_never_panic(
+        cut in 0usize..600,
+        flip_byte in 0usize..600,
+        flip_bit in 0u8..8,
+    ) {
+        use snap_repro::core::engine::Engine;
+        let fabric = snap_repro::nic::fabric::FabricHandle::new(
+            snap_repro::nic::fabric::FabricConfig::default(),
+        );
+        let host = fabric.add_host(snap_repro::nic::nic::NicConfig::default());
+        let regions = snap_repro::shm::region::RegionRegistry::new(
+            snap_repro::shm::account::MemoryAccountant::new(),
+        );
+        let sessions: snap_repro::pony::engine::SessionTable =
+            std::rc::Rc::new(std::cell::RefCell::new(std::collections::HashMap::new()));
+        let mk_cfg = || PonyEngineConfig::new("prop", host, 99);
+        let mut engine =
+            PonyEngine::new(mk_cfg(), fabric.clone(), regions.clone(), sessions.clone());
+        engine.add_session(3);
+        let snapshot = engine.serialize_state();
+
+        let cut = cut.min(snapshot.len());
+        let truncated = PonyEngine::restore(
+            &snapshot[..cut],
+            mk_cfg(),
+            fabric.clone(),
+            regions.clone(),
+            sessions.clone(),
+            Nanos(1),
+        );
+        if cut < snapshot.len() {
+            prop_assert!(truncated.is_err(), "truncated checkpoint must not parse");
+        }
+
+        let mut flipped = snapshot.clone();
+        let idx = flip_byte % flipped.len();
+        flipped[idx] ^= 1 << flip_bit;
+        let _ = PonyEngine::restore(
+            &flipped,
+            mk_cfg(),
+            fabric,
+            regions,
+            sessions,
+            Nanos(1),
+        );
+    }
+}

@@ -246,7 +246,7 @@ proptest! {
                 produced += 1;
             }
         }
-        let restored = Flow::deserialize(&f.serialize(), TimelyConfig::default(), t);
+        let restored = Flow::deserialize(&f.serialize(), TimelyConfig::default(), t).expect("well-formed snapshot restores");
         // Everything unacked (all produced) + queued is pending again.
         prop_assert_eq!(restored.pending_tx(), nsend);
         prop_assert_eq!(restored.id, 9);

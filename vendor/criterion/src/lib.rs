@@ -1,0 +1,144 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's microbenchmarks
+//! use (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `Throughput`, `black_box`) with a
+//! simple measure-and-print harness: no statistics, no HTML reports,
+//! just median-free mean ns/iter on stdout. Good enough to keep the
+//! benches compiling and producing comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (printed alongside timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..16 {
+            black_box(f());
+        }
+        // Measure for ~20ms or 1M iterations, whichever first.
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.1} MiB/s", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  {:.1} Melem/s", e as f64 / ns * 1e9 / 1e6),
+        None => String::new(),
+    };
+    println!("bench {name:<40} {ns:>10.1} ns/iter{rate}");
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            b.ns_per_iter,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group (no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&id.into(), b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes --test style flags;
+            // run the benches only when invoked as a real bench (or
+            // forced), so test runs stay fast.
+            let bench_mode = std::env::args().any(|a| a == "--bench")
+                || std::env::var("SNAP_RUN_BENCHES").is_ok();
+            if !bench_mode {
+                println!("criterion stand-in: skipping benches (pass --bench or set SNAP_RUN_BENCHES=1)");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace's randomness is the deterministic xoshiro256++ in
+//! `snap-sim` (see its module docs for why); `rand` is declared as a
+//! dev-dependency but has no use sites. This empty crate satisfies
+//! the dependency graph without touching the network.

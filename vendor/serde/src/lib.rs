@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a couple of
+//! plain types but never actually serializes through serde (all wire
+//! and snapshot formats use the hand-rolled codec in `snap-sim`). So
+//! the traits here are markers and the derive emits empty impls —
+//! enough to keep signatures and derives compiling without the real
+//! dependency graph.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

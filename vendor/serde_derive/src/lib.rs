@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stand-in defines `Serialize`/`Deserialize`
+//! as marker traits, so the derives only need to name the type and
+//! emit an empty impl. Parsing is a plain token walk (no `syn`): find
+//! the identifier after the `struct`/`enum`/`union` keyword at the
+//! top level. Generic types are not supported — no current use site
+//! derives on one.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stand-in derive: could not find type name");
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
