@@ -135,7 +135,10 @@ fn pony_row(streams: u32, mtu: u32, ioat: bool) -> (f64, f64) {
 
 fn main() {
     snap_bench::header("Table 1: throughput and CPU (paper values in parentheses)");
-    println!("{:<28} {:>9} {:>9}  {}", "configuration", "CPU/sec", "Gbps", "paper (CPU, Gbps)");
+    println!(
+        "{:<28} {:>9} {:>9}  paper (CPU, Gbps)",
+        "configuration", "CPU/sec", "Gbps"
+    );
 
     let (g, c) = tcp_row(1);
     println!("{:<28} {:>9.2} {:>9.1}  (1.17, 22.0)", "Linux TCP, 1 stream", c, g);

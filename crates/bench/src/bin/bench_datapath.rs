@@ -1,0 +1,295 @@
+//! Datapath batching bench: the PR-2 trajectory harness.
+//!
+//! Runs two workloads over the simulated rack — request/response
+//! ping-pong and small-message streaming — once with the batched
+//! datapath (default 16-packet polling/burst) and once with a
+//! batch-of-1 ablation, and reports both *harness* efficiency
+//! (wall-clock packets/sec: fewer simulator events per packet) and
+//! *modeled* efficiency (simulated Mops/s and engine CPU ns per
+//! packet: per-burst fixed costs amortize across packet trains).
+//!
+//! Deterministic for the virtual-time metrics under a fixed seed;
+//! wall-clock numbers vary with the machine but the batched/batch-1
+//! ordering is stable. Writes `BENCH_pr2.json` (path overridable as
+//! argv[1]) and prints a table.
+//!
+//! Run with: `cargo run --release --bin bench_datapath`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use snap_repro::pony::client::{PonyClient, PonyCommand, PonyCompletion};
+use snap_repro::pony::engine::PonyEngine;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+
+const SEED: u64 = 42;
+const DURATION_MS: u64 = 50;
+/// Wall-clock reps per configuration; the fastest rep is reported.
+/// Virtual-time metrics are identical across reps (fixed seed), so
+/// taking the minimum wall time only filters scheduler/cache noise.
+const REPS: usize = 5;
+const PUMP_US: u64 = 20;
+const STREAM_MSG_BYTES: u64 = 4096;
+const STREAM_WINDOW: usize = 32;
+
+struct RunResult {
+    poll_batch: usize,
+    ops: u64,
+    packets: u64,
+    virtual_secs: f64,
+    wall_secs: f64,
+}
+
+impl RunResult {
+    fn wall_pkts_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_secs
+    }
+    fn sim_mops(&self) -> f64 {
+        self.ops as f64 / self.virtual_secs / 1e6
+    }
+}
+
+struct Metered {
+    res: RunResult,
+    cpu_ns_per_packet: f64,
+}
+
+fn new_testbed() -> Testbed {
+    Testbed::new(TestbedConfig {
+        seed: SEED,
+        ..TestbedConfig::default()
+    })
+}
+
+fn engine_packets(tb: &mut Testbed, host: usize, app: &str) -> u64 {
+    let id = tb.hosts[host].module.engine_for(app).expect("app exists");
+    tb.hosts[host].group.with_engine(id, |e| {
+        let pe = e
+            .as_any()
+            .downcast_mut::<PonyEngine>()
+            .expect("pony engine");
+        pe.stats().tx_packets
+    })
+}
+
+fn total_engine_cpu_ns(tb: &mut Testbed) -> u64 {
+    (0..tb.hosts.len())
+        .map(|h| tb.host_cpu(h).engine.as_nanos())
+        .sum()
+}
+
+/// One op = one completed round trip (64 B each way).
+fn ping_pong(poll_batch: usize) -> Metered {
+    let mut tb = new_testbed();
+    let mut a = tb.pony_app(0, "ping", |c| c.poll_batch = poll_batch);
+    let mut b = tb.pony_app(1, "pong", |c| c.poll_batch = poll_batch);
+    let conn = tb.connect(0, "ping", 1, "pong");
+    let deadline = tb.sim.now() + snap_repro::sim::Nanos::from_millis(DURATION_MS);
+    let t0 = tb.sim.now();
+    let wall = Instant::now();
+    let mut rtts = 0u64;
+    a.submit(
+        &mut tb.sim,
+        PonyCommand::Send {
+            conn,
+            stream: 0,
+            len: 64,
+        },
+    );
+    while tb.sim.now() < deadline {
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {
+                b.submit(
+                    &mut tb.sim,
+                    PonyCommand::Send {
+                        conn,
+                        stream: 0,
+                        len: 64,
+                    },
+                );
+            }
+        }
+        for c in a.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {
+                rtts += 1;
+                a.submit(
+                    &mut tb.sim,
+                    PonyCommand::Send {
+                        conn,
+                        stream: 0,
+                        len: 64,
+                    },
+                );
+            }
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let virtual_secs = (tb.sim.now() - t0).as_secs_f64();
+    let packets = engine_packets(&mut tb, 0, "ping") + engine_packets(&mut tb, 1, "pong");
+    let cpu = total_engine_cpu_ns(&mut tb);
+    Metered {
+        cpu_ns_per_packet: cpu as f64 / packets as f64,
+        res: RunResult {
+            poll_batch,
+            ops: rtts,
+            packets,
+            virtual_secs,
+            wall_secs,
+        },
+    }
+}
+
+/// One op = one 4 KB message delivered; a window of sends keeps the
+/// source engine saturated so packet trains actually form.
+fn streaming(poll_batch: usize) -> Metered {
+    let mut tb = new_testbed();
+    let mut a = tb.pony_app(0, "src", |c| c.poll_batch = poll_batch);
+    let mut b = tb.pony_app(1, "sink", |c| c.poll_batch = poll_batch);
+    let conn = tb.connect(0, "src", 1, "sink");
+    let deadline = tb.sim.now() + snap_repro::sim::Nanos::from_millis(DURATION_MS);
+    let t0 = tb.sim.now();
+    let wall = Instant::now();
+    let submit_one = |tb: &mut Testbed, a: &mut PonyClient| {
+        a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: STREAM_MSG_BYTES,
+            },
+        );
+    };
+    for _ in 0..STREAM_WINDOW {
+        submit_one(&mut tb, &mut a);
+    }
+    let mut delivered = 0u64;
+    while tb.sim.now() < deadline {
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {
+                delivered += 1;
+            }
+        }
+        // Refill the window as sends complete.
+        for c in a.take_completions() {
+            if let PonyCompletion::OpDone { .. } = c {
+                submit_one(&mut tb, &mut a);
+            }
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let virtual_secs = (tb.sim.now() - t0).as_secs_f64();
+    let packets = engine_packets(&mut tb, 0, "src") + engine_packets(&mut tb, 1, "sink");
+    let cpu = total_engine_cpu_ns(&mut tb);
+    Metered {
+        cpu_ns_per_packet: cpu as f64 / packets as f64,
+        res: RunResult {
+            poll_batch,
+            ops: delivered,
+            packets,
+            virtual_secs,
+            wall_secs,
+        },
+    }
+}
+
+fn json_leaf(m: &Metered) -> String {
+    format!(
+        concat!(
+            "{{\"poll_batch\": {}, \"ops\": {}, \"packets\": {}, ",
+            "\"virtual_secs\": {:.6}, \"wall_secs\": {:.6}, ",
+            "\"wall_pkts_per_sec\": {:.1}, \"sim_mops_per_sec\": {:.4}, ",
+            "\"sim_cpu_ns_per_packet\": {:.1}}}"
+        ),
+        m.res.poll_batch,
+        m.res.ops,
+        m.res.packets,
+        m.res.virtual_secs,
+        m.res.wall_secs,
+        m.res.wall_pkts_per_sec(),
+        m.res.sim_mops(),
+        m.cpu_ns_per_packet,
+    )
+}
+
+fn row(name: &str, m: &Metered) {
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>12.0} {:>10.4} {:>12.1}",
+        name,
+        m.res.poll_batch,
+        m.res.ops,
+        m.res.packets,
+        m.res.wall_pkts_per_sec(),
+        m.res.sim_mops(),
+        m.cpu_ns_per_packet,
+    );
+}
+
+/// Runs `f` REPS times and keeps the rep with the lowest wall time.
+/// Asserts the virtual-time metrics agree across reps (determinism).
+fn best_of(f: impl Fn() -> Metered) -> Metered {
+    let mut best = f();
+    for _ in 1..REPS {
+        let m = f();
+        assert_eq!(m.res.ops, best.res.ops, "bench must be deterministic");
+        assert_eq!(m.res.packets, best.res.packets, "bench must be deterministic");
+        if m.res.wall_secs < best.res.wall_secs {
+            best = m;
+        }
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    snap_bench::header("Datapath batching (PR 2): batched vs batch-of-1");
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "workload", "batch", "ops", "packets", "wall pkt/s", "sim Mops", "cpu ns/pkt"
+    );
+
+    let pp_batched = best_of(|| ping_pong(16));
+    row("ping_pong", &pp_batched);
+    let pp_one = best_of(|| ping_pong(1));
+    row("ping_pong", &pp_one);
+    let st_batched = best_of(|| streaming(16));
+    row("streaming", &st_batched);
+    let st_one = best_of(|| streaming(1));
+    row("streaming", &st_one);
+
+    let speedup_wall = st_batched.res.wall_pkts_per_sec() / st_one.res.wall_pkts_per_sec();
+    let cpu_ratio = st_one.cpu_ns_per_packet / st_batched.cpu_ns_per_packet;
+    println!();
+    println!(
+        "streaming: batched is {speedup_wall:.2}x wall-clock throughput, \
+         {cpu_ratio:.2}x less simulated CPU per packet"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"datapath_batching\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"duration_ms\": {DURATION_MS},");
+    let _ = writeln!(json, "  \"workloads\": {{");
+    let _ = writeln!(json, "    \"ping_pong\": {{");
+    let _ = writeln!(json, "      \"batched\": {},", json_leaf(&pp_batched));
+    let _ = writeln!(json, "      \"batch1\": {}", json_leaf(&pp_one));
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"streaming\": {{");
+    let _ = writeln!(json, "      \"batched\": {},", json_leaf(&st_batched));
+    let _ = writeln!(json, "      \"batch1\": {}", json_leaf(&st_one));
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"streaming_batched_vs_batch1\": {{\"wall_speedup\": {speedup_wall:.3}, \
+         \"sim_cpu_per_packet_ratio\": {cpu_ratio:.3}}}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -269,12 +269,12 @@ fn run_pony(params: &RackParams, mode: SchedulingMode, class: Option<SchedClass>
 
         // Service servers: answer requests.
         for h in 0..params.hosts {
-            for j in 0..params.jobs_per_host {
-                for c in clients[h][j].take_completions() {
+            for client in &mut clients[h] {
+                for c in client.take_completions() {
                     match c {
                         PonyCompletion::RecvMsg { conn, stream: 1, .. } => {
                             // A request: respond with rpc_bytes.
-                            clients[h][j].submit(
+                            client.submit(
                                 &mut tb.sim,
                                 PonyCommand::Send { conn, stream: 0, len: params.rpc_bytes },
                             );
@@ -366,13 +366,13 @@ fn run_tcp(params: &RackParams) -> RackResult {
     let probe_sent: Rc<RefCell<HashMap<u64, VecDeque<Nanos>>>> =
         Rc::new(RefCell::new(HashMap::new()));
 
-    for h in 0..params.hosts {
-        let me = stacks[h].clone();
+    for stack in &stacks {
+        let me = stack.clone();
         let rpc_bytes = params.rpc_bytes;
         let delivered = delivered.clone();
         let prober_hist = prober_hist.clone();
         let probe_sent = probe_sent.clone();
-        stacks[h].on_message(Rc::new(move |sim, conn, msg, len| {
+        stack.on_message(Rc::new(move |sim, conn, msg, len| {
             if len == 256 {
                 me.send(sim, conn, msg ^ (1 << 60), rpc_bytes);
             } else if len == 128 {
@@ -393,11 +393,11 @@ fn run_tcp(params: &RackParams) -> RackResult {
     // Connections: job conns (one per host pair) and prober conns.
     let mut conns: HashMap<(usize, usize), u64> = HashMap::new();
     let mut pconns: HashMap<(usize, usize), u64> = HashMap::new();
-    for h in 0..params.hosts {
+    for (h, stack) in stacks.iter().enumerate() {
         for h2 in 0..params.hosts {
             if h2 != h {
-                conns.insert((h, h2), stacks[h].connect(tb.hosts[h2].id));
-                pconns.insert((h, h2), stacks[h].connect(tb.hosts[h2].id));
+                conns.insert((h, h2), stack.connect(tb.hosts[h2].id));
+                pconns.insert((h, h2), stack.connect(tb.hosts[h2].id));
             }
         }
     }

@@ -480,9 +480,8 @@ mod tests {
         let mut passed = 0u64;
         for i in 0..100 {
             let now = Nanos::from_millis(i * 10);
-            match tb.process(pkt(1, 2, 100), now) {
-                Verdict::Forward(_) => passed += 1,
-                _ => {}
+            if let Verdict::Forward(_) = tb.process(pkt(1, 2, 100), now) {
+                passed += 1;
             }
             passed += tb.poll(now).len() as u64;
         }

@@ -38,6 +38,14 @@ use crate::module::ControlError;
 /// Shared machine handle (matches `snap_sched::antagonist::MachineHandle`).
 pub type MachineHandle = Rc<RefCell<Machine>>;
 
+/// Depth-1 control work executed on an engine's worker before its next
+/// pass (the engine mailbox, §2.3).
+pub type MailboxWork = Box<dyn FnOnce(&mut dyn Engine)>;
+
+/// Completion callback of a backoff-retried mailbox RPC; fires exactly
+/// once with the post outcome.
+pub type PostResult = Box<dyn FnOnce(&mut Sim, Result<(), ControlError>)>;
+
 /// The scheduling mode of an engine group (§2.4, Fig. 3).
 #[derive(Debug, Clone)]
 pub enum SchedulingMode {
@@ -125,7 +133,7 @@ struct Slot {
     worker: usize,
     /// Depth-1 deferred control work (the engine mailbox, §2.3),
     /// executed on the engine's worker at the start of its next pass.
-    mailbox: Option<Box<dyn FnOnce(&mut dyn Engine)>>,
+    mailbox: Option<MailboxWork>,
     last_report: RunReport,
     /// When the engine last completed a run pass — the progress
     /// heartbeat sampled by the supervisor for wedge detection.
@@ -435,12 +443,12 @@ impl GroupHandle {
                 {
                     continue;
                 }
-                g.slots[id.0 as usize].as_mut().and_then(|slot| {
+                g.slots[id.0 as usize].as_mut().map(|slot| {
                     let mb = slot.mailbox.take();
-                    Some((std::mem::replace(
+                    (std::mem::replace(
                         &mut slot.engine,
                         Box::new(crate::engine::CountingEngine::new("placeholder", Nanos(0))),
-                    ), mb))
+                    ), mb)
                 })
             };
             let Some((mut engine, mailbox)) = taken else { continue };
@@ -682,19 +690,25 @@ impl GroupHandle {
     }
 
     /// Posts depth-1 control work to run on the engine's worker before
-    /// its next pass (the engine mailbox, §2.3). Fails if work is
-    /// already pending.
+    /// its next pass (the engine mailbox, §2.3). Fails with
+    /// [`ControlError::Busy`] if work is already pending and
+    /// [`ControlError::Unavailable`] if the engine slot is gone.
     pub fn post_to_engine(
         &self,
         sim: &mut Sim,
         id: EngineId,
-        work: Box<dyn FnOnce(&mut dyn Engine)>,
-    ) -> Result<(), ()> {
+        work: MailboxWork,
+    ) -> Result<(), ControlError> {
         {
             let mut g = self.inner.borrow_mut();
-            let slot = g.slots[id.0 as usize].as_mut().ok_or(())?;
+            let slot = g.slots[id.0 as usize].as_mut().ok_or_else(|| {
+                ControlError::Unavailable(format!("engine {} removed", id.0))
+            })?;
             if slot.mailbox.is_some() {
-                return Err(());
+                return Err(ControlError::Busy(format!(
+                    "engine {} mailbox occupied",
+                    id.0
+                )));
             }
             slot.mailbox = Some(work);
         }
@@ -725,7 +739,7 @@ impl GroupHandle {
     ) -> Result<R, ControlError> {
         let mut g = self.inner.borrow_mut();
         let idx = id.0 as usize;
-        if g.slots.get(idx).map_or(true, |s| s.is_none()) {
+        if g.slots.get(idx).is_none_or(|s| s.is_none()) {
             return Err(ControlError::Unavailable(format!("engine {} removed", id.0)));
         }
         if g.crashed[idx] {
@@ -753,8 +767,8 @@ impl GroupHandle {
         &self,
         sim: &mut Sim,
         id: EngineId,
-        work: Box<dyn FnOnce(&mut dyn Engine)>,
-        on_result: Box<dyn FnOnce(&mut Sim, Result<(), ControlError>)>,
+        work: MailboxWork,
+        on_result: PostResult,
     ) {
         let deadline = sim.now() + Nanos(costs::CONTROL_RPC_TIMEOUT_NS);
         self.post_attempt(
@@ -771,8 +785,8 @@ impl GroupHandle {
         &self,
         sim: &mut Sim,
         id: EngineId,
-        work: Box<dyn FnOnce(&mut dyn Engine)>,
-        on_result: Box<dyn FnOnce(&mut Sim, Result<(), ControlError>)>,
+        work: MailboxWork,
+        on_result: PostResult,
         deadline: Nanos,
         delay: Nanos,
     ) {

@@ -173,6 +173,70 @@ impl Fabric {
         );
         id
     }
+
+    /// The switch-ingress per-packet pipeline: random loss, partition,
+    /// in-flight corruption, egress buffer admission and egress-port
+    /// serialization. Returns the egress departure time if the packet
+    /// is forwarded, `None` if it is dropped at the switch.
+    ///
+    /// Shared verbatim by the per-packet and burst transmit paths so
+    /// fault injection behaves identically packet-by-packet inside a
+    /// train (same RNG draw order, same counters).
+    fn switch_admit(&mut self, now: Nanos, pkt: &mut Packet) -> Option<Nanos> {
+        // Random loss injection.
+        if self.cfg.loss_prob > 0.0 && self.rng.chance(self.cfg.loss_prob) {
+            self.stats.random_drops += 1;
+            return None;
+        }
+        // Partition: the switch forwards nothing between the
+        // partitioned pair.
+        if self.partitions.contains(&norm_pair(pkt.src, pkt.dst)) {
+            self.stats.partition_drops += 1;
+            self.fault_drops.entry(pkt.dst).or_default().partition += 1;
+            return None;
+        }
+        // Payload corruption: flip one bit, leave the CRC stale; the
+        // packet still travels and burns bandwidth, but the destination
+        // NIC rejects it.
+        if self.cfg.corrupt_prob > 0.0
+            && !pkt.payload.is_empty()
+            && self.rng.chance(self.cfg.corrupt_prob)
+        {
+            let byte = self.rng.below(pkt.payload.len() as u64) as usize;
+            let bit = self.rng.below(8) as u8;
+            pkt.corrupt(byte, bit);
+            self.stats.corrupted += 1;
+            self.fault_drops.entry(pkt.dst).or_default().corruption += 1;
+        }
+        // Buffer admission at the destination egress port.
+        let limit = match pkt.qos {
+            QosClass::Transport => self.cfg.switch_buffer_bytes,
+            QosClass::BestEffort => {
+                (self.cfg.switch_buffer_bytes as f64 * self.cfg.best_effort_buffer_fraction)
+                    as u64
+            }
+        };
+        let switch_latency = self.cfg.switch_latency;
+        let Some(egress_gbps) = self.nics.get(&pkt.dst).map(|n| n.config().gbps) else {
+            // Destination host does not exist; treat as routed to a
+            // black hole.
+            self.stats.switch_drops += 1;
+            return None;
+        };
+        let port = self
+            .egress
+            .get_mut(&pkt.dst)
+            .expect("nic implies egress port");
+        if port.queued_bytes + pkt.wire_size as u64 > limit {
+            self.stats.switch_drops += 1;
+            return None;
+        }
+        port.queued_bytes += pkt.wire_size as u64;
+        let start = port.busy_until.max(now + switch_latency);
+        let dep = start + transmit_time(pkt.wire_size as u64, egress_gbps);
+        port.busy_until = dep;
+        Some(dep)
+    }
 }
 
 /// Cloneable handle to a shared [`Fabric`]; the public API.
@@ -333,61 +397,11 @@ impl FabricHandle {
             let mut pkt = pkt;
             let departure = {
                 let mut fabric = handle.inner.borrow_mut();
-                // Random loss injection.
-                let loss_prob = fabric.cfg.loss_prob;
-                if loss_prob > 0.0 && fabric.rng.chance(loss_prob) {
-                    fabric.stats.random_drops += 1;
-                    return;
+                let now = sim.now();
+                match fabric.switch_admit(now, &mut pkt) {
+                    Some(dep) => dep,
+                    None => return,
                 }
-                // Partition: the switch forwards nothing between the
-                // partitioned pair.
-                if fabric.partitions.contains(&norm_pair(pkt.src, pkt.dst)) {
-                    fabric.stats.partition_drops += 1;
-                    fabric.fault_drops.entry(pkt.dst).or_default().partition += 1;
-                    return;
-                }
-                // Payload corruption: flip one bit, leave the CRC
-                // stale; the packet still travels and burns bandwidth,
-                // but the destination NIC rejects it.
-                let corrupt_prob = fabric.cfg.corrupt_prob;
-                if corrupt_prob > 0.0
-                    && !pkt.payload.is_empty()
-                    && fabric.rng.chance(corrupt_prob)
-                {
-                    let byte = fabric.rng.below(pkt.payload.len() as u64) as usize;
-                    let bit = fabric.rng.below(8) as u8;
-                    pkt.corrupt(byte, bit);
-                    fabric.stats.corrupted += 1;
-                    fabric.fault_drops.entry(pkt.dst).or_default().corruption += 1;
-                }
-                // Buffer admission at the destination egress port.
-                let limit = match pkt.qos {
-                    QosClass::Transport => fabric.cfg.switch_buffer_bytes,
-                    QosClass::BestEffort => (fabric.cfg.switch_buffer_bytes as f64
-                        * fabric.cfg.best_effort_buffer_fraction)
-                        as u64,
-                };
-                let switch_latency = fabric.cfg.switch_latency;
-                let Some(egress_gbps) = fabric.nics.get(&pkt.dst).map(|n| n.config().gbps)
-                else {
-                    // Destination host does not exist; treat as routed
-                    // to a black hole.
-                    fabric.stats.switch_drops += 1;
-                    return;
-                };
-                let port = fabric
-                    .egress
-                    .get_mut(&pkt.dst)
-                    .expect("nic implies egress port");
-                if port.queued_bytes + pkt.wire_size as u64 > limit {
-                    fabric.stats.switch_drops += 1;
-                    return;
-                }
-                port.queued_bytes += pkt.wire_size as u64;
-                let start = port.busy_until.max(sim.now() + switch_latency);
-                let dep = start + transmit_time(pkt.wire_size as u64, egress_gbps);
-                port.busy_until = dep;
-                dep
             };
             let handle2 = handle.clone();
             sim.schedule_at(departure, move |sim| {
@@ -399,6 +413,163 @@ impl FabricHandle {
                 }
                 handle2.deliver(sim, pkt);
             });
+        });
+    }
+
+    /// Transmits a packet train from one host on one tx queue,
+    /// coalescing fixed simulation work: ONE scheduled event covers the
+    /// whole train at each hop (uplink completion, switch ingress, and
+    /// one egress departure + delivery per destination sub-train), and
+    /// the receiving NIC raises at most one interrupt per rx queue per
+    /// burst. Per-packet *semantics* are unchanged: tx descriptor
+    /// slots, uplink serialization occupancy, random loss, partitions,
+    /// corruption and egress buffer admission are all applied packet by
+    /// packet in train order, through the same code as [`Self::transmit`].
+    ///
+    /// Packets are accepted until tx slots run out; the accepted count
+    /// is returned and unaccepted packets stay in `pkts`
+    /// (front-aligned), for the caller to regenerate later.
+    ///
+    /// The whole train becomes visible at the switch when its *last*
+    /// packet finishes uplink serialization (and at the destination
+    /// when its sub-train finishes egress serialization), so a packet's
+    /// arrival can shift later by at most one train serialization time
+    /// relative to per-packet transmission — bound the train with
+    /// [`costs::FABRIC_BURST_MAX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packets do not all share the same source host, or
+    /// if that host does not exist.
+    pub fn transmit_burst(&self, sim: &mut Sim, queue: u16, pkts: &mut Vec<Packet>) -> usize {
+        let Some(first) = pkts.first() else { return 0 };
+        let src = first.src;
+        let (depart_uplink, accepted) = {
+            let mut fabric = self.inner.borrow_mut();
+            let dma_ready = sim.now() + fabric.cfg.nic_dma;
+            let stall = fabric
+                .queue_stalls
+                .get(&(src, queue))
+                .copied()
+                .filter(|&until| until > sim.now())
+                .unwrap_or(Nanos::ZERO);
+            let nic = fabric.nics.get_mut(&src).expect("unknown source host");
+            let gbps = nic.config().gbps;
+            let mut taken = 0;
+            for pkt in pkts.iter() {
+                assert_eq!(pkt.src, src, "burst mixes source hosts");
+                if !nic.take_tx_slot(queue) {
+                    break;
+                }
+                taken += 1;
+            }
+            let busy = fabric.uplink_busy.get_mut(&src).expect("uplink exists");
+            let mut depart = Nanos::ZERO;
+            for pkt in &pkts[..taken] {
+                let ser = transmit_time(pkt.wire_size as u64, gbps);
+                let start = (*busy).max(dma_ready);
+                let end = start + ser;
+                *busy = end;
+                depart = depart.max(end.max(stall + ser));
+            }
+            (depart, pkts.drain(..taken).collect::<Vec<Packet>>())
+        };
+        let n = accepted.len();
+        if n == 0 {
+            return 0;
+        }
+        // One event retires every tx descriptor and forwards the train
+        // when the last packet clears the uplink.
+        let handle = self.clone();
+        sim.schedule_at(depart_uplink, move |sim| {
+            handle.with_nic(src, |nic| {
+                for pkt in &accepted {
+                    nic.complete_tx(queue, pkt.wire_size);
+                }
+            });
+            handle.arrive_at_switch_burst(sim, accepted);
+        });
+        n
+    }
+
+    /// Train reaches the switch ingress: run the per-packet pipeline on
+    /// every packet (in order), then schedule one departure + delivery
+    /// event per destination sub-train at that sub-train's last egress
+    /// departure.
+    fn arrive_at_switch_burst(&self, sim: &mut Sim, pkts: Vec<Packet>) {
+        let ingress = sim.now() + self.inner.borrow().cfg.prop_delay;
+        let handle = self.clone();
+        sim.schedule_at(ingress, move |sim| {
+            // (dst, sub-train departure, sub-train packets), in
+            // first-packet order per destination.
+            let mut trains: Vec<(HostId, Nanos, Vec<Packet>)> = Vec::new();
+            {
+                let mut fabric = handle.inner.borrow_mut();
+                let now = sim.now();
+                for mut pkt in pkts {
+                    let Some(dep) = fabric.switch_admit(now, &mut pkt) else {
+                        continue;
+                    };
+                    match trains.iter_mut().find(|(dst, ..)| *dst == pkt.dst) {
+                        Some((_, train_dep, train)) => {
+                            *train_dep = (*train_dep).max(dep);
+                            train.push(pkt);
+                        }
+                        None => trains.push((pkt.dst, dep, vec![pkt])),
+                    }
+                }
+            }
+            for (dst, departure, train) in trains {
+                let handle2 = handle.clone();
+                sim.schedule_at(departure, move |sim| {
+                    {
+                        let mut fabric = handle2.inner.borrow_mut();
+                        if let Some(port) = fabric.egress.get_mut(&dst) {
+                            for pkt in &train {
+                                port.queued_bytes -= pkt.wire_size as u64;
+                            }
+                        }
+                    }
+                    handle2.deliver_train(sim, train);
+                });
+            }
+        });
+    }
+
+    /// Final hop for a sub-train: propagation + rx DMA, then the whole
+    /// train into the destination NIC's rx rings in one event, with at
+    /// most one interrupt per armed rx queue.
+    fn deliver_train(&self, sim: &mut Sim, pkts: Vec<Packet>) {
+        let (prop, dma) = {
+            let fabric = self.inner.borrow();
+            (fabric.cfg.prop_delay, fabric.cfg.nic_dma)
+        };
+        let handle = self.clone();
+        sim.schedule_at(sim.now() + prop + dma, move |sim| {
+            let (irqs, handler) = {
+                let mut fabric = handle.inner.borrow_mut();
+                let Some(dst) = pkts.first().map(|p| p.dst) else {
+                    return;
+                };
+                let n = pkts.len() as u64;
+                let Some(nic) = fabric.nics.get_mut(&dst) else {
+                    return;
+                };
+                let irqs = nic.deliver_burst(pkts);
+                let handler = nic.irq_handler();
+                // Counted per packet reaching the NIC, as the
+                // per-packet path does (NIC-side drops have their own
+                // counters).
+                fabric.stats.delivered += n;
+                (irqs, handler)
+            };
+            // Invoke interrupts outside the fabric borrow so handlers
+            // can freely poll the NIC.
+            if let Some(handler) = handler {
+                for queue in irqs {
+                    handler(sim, queue);
+                }
+            }
         });
     }
 
@@ -662,6 +833,128 @@ mod tests {
         let (fast, slow) = (arrivals[0], arrivals[1]);
         assert!(fast < stall_until, "unstalled queue delivered promptly at {fast}");
         assert!(slow > stall_until, "stalled queue held until {stall_until}, got {slow}");
+    }
+
+    #[test]
+    fn burst_delivers_with_one_irq() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        let fired = Rc::new(Cell::new(0u32));
+        let f2 = fired.clone();
+        fabric.with_nic(b, |nic| {
+            nic.set_irq_handler(Rc::new(move |_sim, _q| f2.set(f2.get() + 1)));
+            nic.arm_irq(0, true);
+        });
+        let mut train: Vec<Packet> =
+            (0..8).map(|_| packet(a, b, 500).with_rss_hash(0)).collect();
+        assert_eq!(fabric.transmit_burst(&mut sim, 0, &mut train), 8);
+        assert!(train.is_empty());
+        sim.run();
+        assert_eq!(fabric.stats().delivered, 8);
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 8);
+        assert_eq!(fired.get(), 1, "one interrupt for the whole train");
+    }
+
+    #[test]
+    fn burst_respects_tx_slots_and_returns_leftovers() {
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig::default());
+        let a = fabric.add_host(NicConfig {
+            tx_queue_depth: 4,
+            ..NicConfig::default()
+        });
+        let b = fabric.add_host(NicConfig::default());
+        let mut train: Vec<Packet> = (0..6).map(|_| packet(a, b, 100)).collect();
+        assert_eq!(fabric.transmit_burst(&mut sim, 0, &mut train), 4);
+        assert_eq!(train.len(), 2, "unaccepted packets handed back");
+        sim.run();
+        assert_eq!(fabric.stats().delivered, 4);
+        assert_eq!(fabric.with_nic(a, |n| n.tx_slots_available(0)), 4);
+    }
+
+    #[test]
+    fn burst_applies_faults_per_packet() {
+        // Corruption at probability 1 must hit every packet of a train
+        // individually, and each one must be CRC-rejected by the NIC.
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig {
+            corrupt_prob: 1.0,
+            ..FabricConfig::default()
+        });
+        let a = fabric.add_host(NicConfig::default());
+        let b = fabric.add_host(NicConfig::default());
+        let mut train: Vec<Packet> = (0..10).map(|_| packet(a, b, 500)).collect();
+        assert_eq!(fabric.transmit_burst(&mut sim, 0, &mut train), 10);
+        sim.run();
+        assert_eq!(fabric.stats().corrupted, 10);
+        assert_eq!(fabric.with_nic(b, |n| n.stats().rx_crc_drops), 10);
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 0);
+        // Partition mid-experiment: a fresh train is dropped per packet
+        // at the switch, not as a unit that might bypass counters.
+        fabric.set_corrupt_prob(0.0);
+        fabric.partition(a, b);
+        let mut train: Vec<Packet> = (0..5).map(|_| packet(a, b, 100)).collect();
+        fabric.transmit_burst(&mut sim, 0, &mut train);
+        sim.run();
+        assert_eq!(fabric.stats().partition_drops, 5);
+        assert_eq!(fabric.drop_reasons(b).partition, 5);
+    }
+
+    #[test]
+    fn burst_splits_per_destination() {
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig::default());
+        let a = fabric.add_host(NicConfig::default());
+        let b = fabric.add_host(NicConfig::default());
+        let c = fabric.add_host(NicConfig::default());
+        let mut train = vec![
+            packet(a, b, 200),
+            packet(a, c, 200),
+            packet(a, b, 200),
+            packet(a, c, 200),
+        ];
+        assert_eq!(fabric.transmit_burst(&mut sim, 0, &mut train), 4);
+        sim.run();
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 2);
+        assert_eq!(fabric.with_nic(c, |n| n.rx_pending_total()), 2);
+        assert_eq!(fabric.stats().delivered, 4);
+    }
+
+    #[test]
+    fn burst_of_one_matches_single_transmit_timing() {
+        // A burst of one packet must arrive at exactly the same virtual
+        // time as the same packet sent through `transmit`.
+        let t_single = {
+            let mut sim = Sim::new();
+            let (fabric, a, b) = two_hosts(0.0);
+            let at = Rc::new(Cell::new(Nanos::ZERO));
+            let at2 = at.clone();
+            fabric.with_nic(b, |nic| {
+                nic.set_irq_handler(Rc::new(move |sim: &mut Sim, _q| at2.set(sim.now())));
+                nic.arm_irq(0, true);
+            });
+            fabric
+                .transmit(&mut sim, 0, packet(a, b, 1000).with_rss_hash(0))
+                .unwrap();
+            sim.run();
+            at.get()
+        };
+        let t_burst = {
+            let mut sim = Sim::new();
+            let (fabric, a, b) = two_hosts(0.0);
+            let at = Rc::new(Cell::new(Nanos::ZERO));
+            let at2 = at.clone();
+            fabric.with_nic(b, |nic| {
+                nic.set_irq_handler(Rc::new(move |sim: &mut Sim, _q| at2.set(sim.now())));
+                nic.arm_irq(0, true);
+            });
+            let mut train = vec![packet(a, b, 1000).with_rss_hash(0)];
+            fabric.transmit_burst(&mut sim, 0, &mut train);
+            sim.run();
+            at.get()
+        };
+        assert!(t_single > Nanos::ZERO);
+        assert_eq!(t_single, t_burst);
     }
 
     #[test]

@@ -73,6 +73,23 @@ impl Packet {
         }
     }
 
+    /// Builds a packet from a payload whose CRC32C the caller already
+    /// computed (e.g. fused into the wire-encode pass), skipping the
+    /// second scan over the bytes that [`Packet::new`] would do.
+    pub fn with_precomputed_crc(src: HostId, dst: HostId, payload: Bytes, crc: u32) -> Packet {
+        debug_assert_eq!(crc, crc32c(&payload), "precomputed CRC mismatch");
+        Packet {
+            src,
+            dst,
+            steer_key: None,
+            rss_hash: 0,
+            qos: QosClass::BestEffort,
+            wire_size: payload.len() as u32 + Self::HEADER_OVERHEAD,
+            payload,
+            crc,
+        }
+    }
+
     /// Bytes of link/IP-level framing added to every payload.
     pub const HEADER_OVERHEAD: u32 = 42;
 
@@ -100,16 +117,26 @@ impl Packet {
         crc32c(&self.payload) == self.crc
     }
 
-    /// Flips one bit of the payload — test helper to model in-flight
-    /// corruption.
+    /// Flips one bit of the payload — models in-flight corruption.
+    ///
+    /// Mutates in place when this packet uniquely owns its payload
+    /// buffer (the common case for a packet in flight); falls back to
+    /// copy-on-write when the buffer is shared so other holders never
+    /// observe the flip.
     pub fn corrupt(&mut self, byte: usize, bit: u8) {
-        let mut data = self.payload.to_vec();
-        if data.is_empty() {
+        let len = self.payload.len();
+        if len == 0 {
             return;
         }
-        let idx = byte % data.len();
-        data[idx] ^= 1 << (bit % 8);
-        self.payload = Bytes::from(data);
+        let idx = byte % len;
+        let mask = 1 << (bit % 8);
+        if let Some(data) = self.payload.try_mut() {
+            data[idx] ^= mask;
+        } else {
+            let mut data = self.payload.to_vec();
+            data[idx] ^= mask;
+            self.payload = Bytes::from(data);
+        }
     }
 }
 
@@ -148,6 +175,26 @@ mod tests {
     fn qos_priority_order() {
         assert_eq!(QosClass::ALL[0], QosClass::Transport);
         assert!(QosClass::Transport < QosClass::BestEffort);
+    }
+
+    #[test]
+    fn corrupt_shared_payload_copies_on_write() {
+        let shared = Bytes::from(vec![0u8; 16]);
+        let mut p = Packet::new(1, 2, shared.clone());
+        p.corrupt(3, 1);
+        assert!(!p.crc_ok());
+        assert_eq!(shared, vec![0u8; 16], "other holders are unaffected");
+    }
+
+    #[test]
+    fn precomputed_crc_constructor_matches_new() {
+        let payload = Bytes::from_static(b"fused crc path");
+        let crc = crate::crc::crc32c(&payload);
+        let p = Packet::with_precomputed_crc(1, 2, payload.clone(), crc);
+        let q = Packet::new(1, 2, payload);
+        assert_eq!(p.crc, q.crc);
+        assert_eq!(p.wire_size, q.wire_size);
+        assert!(p.crc_ok());
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub const INITIAL_CREDITS: u32 = 64;
 pub type SessionTable =
     Rc<RefCell<HashMap<u64, EngineEndpoint<(u64, PonyCommand), PonyCompletion>>>>;
 
+/// Callback that re-schedules an engine pass — used by self-arming
+/// pacing/RTO timers.
+pub type WakeFn = Rc<dyn Fn(&mut Sim)>;
+
 /// Static engine configuration.
 #[derive(Debug, Clone)]
 pub struct PonyEngineConfig {
@@ -199,10 +203,17 @@ pub struct PonyEngine {
     stats: PonyStats,
     /// Wake callback for self-arming timers (pacing/RTO); set by the
     /// module after registration.
-    wake: Option<Rc<dyn Fn(&mut Sim)>>,
+    wake: Option<WakeFn>,
     timer: Option<(Nanos, snap_sim::EventHandle)>,
     rx_buf: Vec<Packet>,
     cmd_buf: Vec<(u64, PonyCommand)>,
+    /// Reusable wire-encode scratch: frames encode into this buffer
+    /// (capacity persists across packets) and CRC32C is computed over
+    /// it before the payload is materialized, so the tx path does no
+    /// growth reallocations and no second CRC scan per frame.
+    tx_scratch: Writer,
+    /// Reusable tx staging for burst transmission.
+    tx_batch: Vec<Packet>,
     detached: bool,
 }
 
@@ -238,12 +249,14 @@ impl PonyEngine {
             timer: None,
             rx_buf: Vec::new(),
             cmd_buf: Vec::new(),
+            tx_scratch: Writer::new(),
+            tx_batch: Vec::new(),
             detached: false,
         }
     }
 
     /// Installs the wake callback used for pacing/RTO timers.
-    pub fn set_wake(&mut self, wake: Rc<dyn Fn(&mut Sim)>) {
+    pub fn set_wake(&mut self, wake: WakeFn) {
         self.wake = Some(wake);
     }
 
@@ -434,8 +447,7 @@ impl PonyEngine {
         const OUTQ_TARGET: usize = 64;
         let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
         for conn_id in conn_ids {
-            loop {
-                let Some(conn) = self.conns.get_mut(&conn_id) else { break };
+            while let Some(conn) = self.conns.get_mut(&conn_id) {
                 if conn.stream_queue.is_empty() {
                     break;
                 }
@@ -554,7 +566,9 @@ impl PonyEngine {
                     op,
                     region,
                     offset,
-                    data,
+                    // Vec -> Bytes is zero-copy: the command's buffer
+                    // becomes the frame's refcounted payload.
+                    data: data.into(),
                 });
             }
             PonyCommand::IndirectRead {
@@ -753,7 +767,14 @@ impl PonyEngine {
         self.flows
             .get_mut(&flow_id)
             .expect("request came from this flow")
-            .enqueue(OpFrame::OneSidedResp { op, status, data }, now);
+            .enqueue(
+                OpFrame::OneSidedResp {
+                    op,
+                    status,
+                    data: data.into(),
+                },
+                now,
+            );
         cpu
     }
 
@@ -825,7 +846,10 @@ impl PonyEngine {
                             } else {
                                 OpStatus::RemoteAccessError
                             },
-                            data,
+                            // The completion queue models the copy into
+                            // app-owned shared memory, so this boundary
+                            // copies by design.
+                            data: data.to_vec(),
                             issued_at: pending.issued_at,
                         },
                     );
@@ -906,21 +930,22 @@ impl PonyEngine {
     }
 
     /// Just-in-time packet generation: drain flows while tx descriptor
-    /// slots and pacing allow (§3.1).
+    /// slots and pacing allow (§3.1), staging a packet train and handing
+    /// it to the fabric as ONE burst so fixed per-transmit costs (event
+    /// scheduling, doorbell) amortize across the train.
     fn generate_packets(&mut self, sim: &mut Sim) -> (Nanos, usize) {
         let now = sim.now();
-        let mut cpu = Nanos::ZERO;
-        let mut sent = 0;
         let budget = self.cfg.poll_batch * 2;
+        let slots = self
+            .fabric
+            .with_nic(self.cfg.host, |nic| nic.tx_slots_available(self.cfg.queue));
+        let max = budget.min(slots);
+        let mut batch = std::mem::take(&mut self.tx_batch);
+        batch.clear();
         let flow_ids: Vec<u64> = self.flows.keys().copied().collect();
         'outer: for fid in flow_ids {
             loop {
-                if sent >= budget {
-                    break 'outer;
-                }
-                let slots =
-                    self.fabric.with_nic(self.cfg.host, |nic| nic.tx_slots_available(self.cfg.queue));
-                if slots == 0 {
+                if batch.len() >= max {
                     break 'outer;
                 }
                 let flow = self.flows.get_mut(&fid).expect("listed");
@@ -937,26 +962,42 @@ impl PonyEngine {
                     self.seq_chunks
                         .insert((fid, pkt.seq), (conn, stream, msg, offset));
                 }
-                let (remote_host, _remote_engine_key) =
+                let (remote_host, remote_engine_key) =
                     *self.flow_peers.get(&fid).expect("flow has peer");
-                let remote_engine_key = self.flow_peers[&fid].1;
-                let wire_payload = pkt.encode();
-                let mut nic_pkt = Packet::new(self.cfg.host, remote_host, Bytes::from(wire_payload));
+                // Encode into the engine scratch (no growth reallocs
+                // once warm) and CRC the encoded bytes right here, so
+                // Packet construction skips its own CRC pass.
+                self.tx_scratch.clear();
+                pkt.encode_into(&mut self.tx_scratch);
+                let crc = snap_nic::crc::crc32c(self.tx_scratch.as_slice());
+                let payload = Bytes::copy_from_slice(self.tx_scratch.as_slice());
+                let mut nic_pkt =
+                    Packet::with_precomputed_crc(self.cfg.host, remote_host, payload, crc);
                 nic_pkt.wire_size = pkt.wire_size() + Packet::HEADER_OVERHEAD;
-                nic_pkt = nic_pkt
-                    .with_qos(QosClass::Transport)
-                    .with_steer_key(remote_engine_key)
-                    .with_rss_hash(fid);
-                match self.fabric.transmit(sim, self.cfg.queue, nic_pkt) {
-                    Ok(()) => {
-                        cpu += Nanos(costs::PONY_PER_PACKET_NS);
-                        self.stats.tx_packets += 1;
-                        sent += 1;
-                    }
-                    Err(_) => break 'outer,
-                }
+                batch.push(
+                    nic_pkt
+                        .with_qos(QosClass::Transport)
+                        .with_steer_key(remote_engine_key)
+                        .with_rss_hash(fid),
+                );
             }
         }
+        let staged = batch.len();
+        // Per-burst fixed cost + per-packet marginal cost (batch of one
+        // costs exactly what the unbatched path charged).
+        let cpu = costs::pony_batch_cost(staged);
+        let sent = if staged > 0 {
+            self.fabric.transmit_burst(sim, self.cfg.queue, &mut batch)
+        } else {
+            0
+        };
+        // `max` was bounded by the slots available, so the whole train
+        // is normally accepted; any leftover (slot raced away) is
+        // dropped here and recovered by RTO, exactly like the TxBusy
+        // path of single-packet transmit.
+        batch.clear();
+        self.tx_batch = batch;
+        self.stats.tx_packets += sent as u64;
         (cpu, sent)
     }
 
@@ -1014,11 +1055,15 @@ impl Engine for PonyEngine {
         self.fabric.with_nic(host, |nic| {
             nic.poll_rx(queue, batch, &mut rx);
         });
+        // Per-burst fixed cost + per-packet marginal cost for the whole
+        // rx train (frame handling costs are still charged per frame).
+        cpu += costs::pony_batch_cost(rx.len());
         for pkt in rx.drain(..) {
             work = true;
             self.stats.rx_packets += 1;
-            cpu += Nanos(costs::PONY_PER_PACKET_NS);
-            let Ok(ppkt) = PonyPacket::decode(&pkt.payload) else {
+            // Decode straight out of the refcounted packet payload:
+            // data-carrying frames slice it instead of copying.
+            let Ok(ppkt) = PonyPacket::decode_bytes(&pkt.payload) else {
                 continue;
             };
             let flow_id = ppkt.flow;

@@ -157,7 +157,7 @@ impl Flow {
     pub fn produce(&mut self, now: Nanos) -> Option<PonyPacket> {
         // Retransmissions first, reusing the original sequence number
         // so the receiver's cumulative ack can advance over the hole.
-        if let Some(&(_, ref frame, _)) = self.rtxq.front() {
+        if let Some((_, frame, _)) = self.rtxq.front() {
             let bytes = frame.payload_len().max(64);
             if self.cc.next_send_at(now) <= now {
                 let (seq, frame, rtx) = self.rtxq.pop_front().expect("front exists");

@@ -12,6 +12,7 @@
 //! the wire protocol versions available when connecting to a remote
 //! engine, and select the least common denominator."
 
+use bytes::Bytes;
 use snap_sim::codec::{DecodeError, Reader, Writer};
 
 /// Lowest wire version this build still speaks.
@@ -64,8 +65,9 @@ pub enum OpFrame {
         region: u64,
         /// Byte offset.
         offset: u64,
-        /// The data to write.
-        data: Vec<u8>,
+        /// The data to write. `Bytes` so the receive path can slice it
+        /// out of the packet payload without copying.
+        data: Bytes,
     },
     /// Custom indirect read: consult an indirection table, then read
     /// the target it names (§3.2). `indices` > 1 is the batched form
@@ -98,8 +100,10 @@ pub enum OpFrame {
         op: u64,
         /// 0 = ok; otherwise an error code.
         status: u8,
-        /// Response payload (read data; empty for writes).
-        data: Vec<u8>,
+        /// Response payload (read data; empty for writes). `Bytes` so
+        /// the receive path can slice it out of the packet payload
+        /// without copying.
+        data: Bytes,
     },
     /// Receiver-driven flow control: the peer posted `count` receive
     /// buffers on `conn` (§3.3).
@@ -159,7 +163,15 @@ pub struct PonyPacket {
 impl PonyPacket {
     /// Serializes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(64);
+        let mut w = Writer::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Serializes into a caller-owned [`Writer`], appending to whatever
+    /// it already holds — the scratch-buffer hook for hot paths that
+    /// encode one frame per packet and must not allocate per frame.
+    pub fn encode_into(&self, w: &mut Writer) {
         w.u16(self.version)
             .u64(self.flow)
             .u64(self.seq)
@@ -224,12 +236,53 @@ impl PonyPacket {
             }
             OpFrame::AckOnly => {}
         }
-        w.finish()
     }
 
-    /// Parses wire bytes.
+    /// Exact length [`PonyPacket::encode`] would produce, computed
+    /// arithmetically — no allocation, no second encoding pass.
+    pub fn encoded_len(&self) -> usize {
+        // version + flow + seq + cum_ack + sack count + frame tag.
+        let header = 2 + 8 + 8 + 8 + 1 + 8 * self.sacks.len() + 1;
+        let body = match &self.frame {
+            OpFrame::MsgChunk { .. } => 40,
+            OpFrame::ReadReq { .. } | OpFrame::ScanReadReq { .. } => 28,
+            OpFrame::WriteReq { data, .. } => 28 + data.len(),
+            OpFrame::IndirectReadReq { indices, .. } => 21 + 4 * indices.len(),
+            OpFrame::OneSidedResp { data, .. } => 13 + data.len(),
+            OpFrame::BufferPost { .. } => 12,
+            OpFrame::AckOnly => 0,
+        };
+        header + body
+    }
+
+    /// Parses wire bytes. Data-carrying frames copy their data field
+    /// out of `buf`; use [`PonyPacket::decode_bytes`] when the payload
+    /// is available as refcounted [`Bytes`] to avoid the copy.
     pub fn decode(buf: &[u8]) -> Result<PonyPacket, DecodeError> {
+        Self::decode_with(buf, None)
+    }
+
+    /// Parses a packet payload held as [`Bytes`]; the data fields of
+    /// `WriteReq`/`OneSidedResp` frames are zero-copy slices of
+    /// `payload` (refcount bump + window) instead of fresh allocations.
+    pub fn decode_bytes(payload: &Bytes) -> Result<PonyPacket, DecodeError> {
+        Self::decode_with(payload, Some(payload))
+    }
+
+    fn decode_with(buf: &[u8], payload: Option<&Bytes>) -> Result<PonyPacket, DecodeError> {
         let mut r = Reader::new(buf);
+        // Reads a length-prefixed data field: sliced zero-copy out of
+        // the refcounted payload when one backs `buf`, copied otherwise.
+        let read_data = |r: &mut Reader| -> Result<Bytes, DecodeError> {
+            let slice = r.bytes()?;
+            match payload {
+                Some(b) => {
+                    let end = r.position();
+                    Ok(b.slice(end - slice.len()..end))
+                }
+                None => Ok(Bytes::copy_from_slice(slice)),
+            }
+        };
         let version = r.u16()?;
         let flow = r.u64()?;
         let seq = r.u64()?;
@@ -259,7 +312,7 @@ impl PonyPacket {
                 op: r.u64()?,
                 region: r.u64()?,
                 offset: r.u64()?,
-                data: r.bytes()?.to_vec(),
+                data: read_data(&mut r)?,
             },
             3 => {
                 let op = r.u64()?;
@@ -286,7 +339,7 @@ impl PonyPacket {
             5 => OpFrame::OneSidedResp {
                 op: r.u64()?,
                 status: r.u8()?,
-                data: r.bytes()?.to_vec(),
+                data: read_data(&mut r)?,
             },
             6 => OpFrame::BufferPost {
                 conn: r.u64()?,
@@ -308,7 +361,7 @@ impl PonyPacket {
     /// Wire size: encoded header size plus the modeled payload bytes
     /// that are not literally carried (MsgChunk lengths).
     pub fn wire_size(&self) -> u32 {
-        let header = self.encode().len() as u32;
+        let header = self.encoded_len() as u32;
         // WriteReq/OneSidedResp carry their data inline in the encoded
         // form already; MsgChunk models its payload by length.
         let modeled = match self.frame {
@@ -332,8 +385,14 @@ mod tests {
             sacks: vec![1002, 1004],
             frame,
         };
-        let decoded = PonyPacket::decode(&pkt.encode()).expect("decodes");
+        let buf = pkt.encode();
+        assert_eq!(buf.len(), pkt.encoded_len(), "encoded_len is exact");
+        let decoded = PonyPacket::decode(&buf).expect("decodes");
         assert_eq!(decoded, pkt);
+        // The zero-copy path must agree with the copying path.
+        let shared = Bytes::from(buf);
+        let decoded2 = PonyPacket::decode_bytes(&shared).expect("decodes");
+        assert_eq!(decoded2, pkt);
     }
 
     #[test]
@@ -356,7 +415,7 @@ mod tests {
             op: 1,
             region: 2,
             offset: 64,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         });
         roundtrip(OpFrame::IndirectReadReq {
             op: 5,
@@ -373,10 +432,37 @@ mod tests {
         roundtrip(OpFrame::OneSidedResp {
             op: 5,
             status: 0,
-            data: vec![9; 77],
+            data: vec![9; 77].into(),
         });
         roundtrip(OpFrame::BufferPost { conn: 3, count: 16 });
         roundtrip(OpFrame::AckOnly);
+    }
+
+    #[test]
+    fn decode_bytes_slices_payload_without_copying() {
+        let pkt = PonyPacket {
+            version: 5,
+            flow: 1,
+            seq: 1,
+            cum_ack: 0,
+            sacks: vec![],
+            frame: OpFrame::WriteReq {
+                op: 1,
+                region: 2,
+                offset: 0,
+                data: vec![7u8; 64].into(),
+            },
+        };
+        let payload = Bytes::from(pkt.encode());
+        let decoded = PonyPacket::decode_bytes(&payload).expect("decodes");
+        let OpFrame::WriteReq { data, .. } = &decoded.frame else {
+            panic!("wrong frame");
+        };
+        // Zero-copy: the decoded data field points into the payload's
+        // backing buffer rather than a fresh allocation.
+        let payload_range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+        assert!(payload_range.contains(&(data.as_ptr() as usize)));
+        assert_eq!(&data[..], &[7u8; 64]);
     }
 
     #[test]
@@ -466,7 +552,7 @@ mod tests {
                 op: 0,
                 region: 0,
                 offset: 0,
-                data: vec![0; 9]
+                data: vec![0; 9].into()
             }
             .payload_len(),
             9

@@ -138,6 +138,17 @@ impl<Cmd, Cpl> AppEndpoint<Cmd, Cpl> {
         r
     }
 
+    /// Submits a batch of commands with a single release store on the
+    /// ring and ONE doorbell ring for the whole batch; returns how many
+    /// were accepted (leftovers stay in `cmds`, front-aligned).
+    pub fn submit_batch(&self, cmds: &mut Vec<Cmd>) -> usize {
+        let n = self.commands.push_drain(cmds);
+        if n > 0 {
+            self.command_doorbell.ring();
+        }
+        n
+    }
+
     /// Reaps one completion, if available.
     pub fn poll_completion(&self) -> Option<Cpl> {
         self.completions.pop()
@@ -187,6 +198,17 @@ impl<Cmd, Cpl> EngineEndpoint<Cmd, Cpl> {
         r
     }
 
+    /// Posts a batch of completions with a single release store on the
+    /// ring and ONE doorbell ring for the whole batch; returns how many
+    /// were accepted (leftovers stay in `cpls`, front-aligned).
+    pub fn complete_batch(&self, cpls: &mut Vec<Cpl>) -> usize {
+        let n = self.completions.push_drain(cpls);
+        if n > 0 {
+            self.completion_doorbell.ring();
+        }
+        n
+    }
+
     /// True if the application endpoint was dropped.
     pub fn is_disconnected(&self) -> bool {
         self.commands.is_disconnected()
@@ -210,6 +232,25 @@ mod tests {
         assert!(app.completion_doorbell.is_rung());
         assert_eq!(app.poll_completion(), Some("done-7".to_string()));
         assert_eq!(app.poll_completion(), None);
+    }
+
+    #[test]
+    fn batch_submit_and_complete_ring_once() {
+        let (app, engine) = QueuePair::create::<u32, u32>(4);
+        let mut cmds = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(app.submit_batch(&mut cmds), 4);
+        assert_eq!(cmds, vec![5, 6], "rejected commands stay with caller");
+        assert!(engine.command_doorbell.take());
+        assert!(!engine.command_doorbell.take(), "one ring per batch");
+        let mut got = Vec::new();
+        assert_eq!(engine.poll_commands(&mut got, 16), 4);
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        let mut cpls = vec![10, 20];
+        assert_eq!(engine.complete_batch(&mut cpls), 2);
+        assert!(app.completion_doorbell.take());
+        let mut out = Vec::new();
+        assert_eq!(app.poll_completions(&mut out, 16), 2);
+        assert_eq!(out, vec![10, 20]);
     }
 
     #[test]
@@ -274,7 +315,7 @@ mod tests {
                 cmds.clear();
                 let n = engine.poll_commands(&mut cmds, 16);
                 for &c in &cmds[..n] {
-                    engine.complete(c * 2).ok().expect("completion queue full");
+                    engine.complete(c * 2).expect("completion queue full");
                     served += 1;
                 }
                 if n == 0 {

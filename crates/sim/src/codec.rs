@@ -71,6 +71,17 @@ impl Writer {
         self.buf
     }
 
+    /// Clears the buffer, keeping its allocation — the scratch-buffer
+    /// reuse hook for per-frame encoding on hot paths.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, without consuming the writer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -158,6 +169,13 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Current read offset from the start of the buffer — lets callers
+    /// that hold the backing buffer in a refcounted form slice the
+    /// range a field occupies instead of copying it.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// True if the whole buffer was consumed.
     pub fn is_exhausted(&self) -> bool {
         self.remaining() == 0
@@ -240,5 +258,32 @@ mod tests {
         assert!(w.is_empty());
         w.u32(1);
         assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn writer_clear_reuses_allocation() {
+        let mut w = Writer::with_capacity(8);
+        w.u64(7).bytes(b"abc");
+        assert_eq!(w.as_slice().len(), w.len());
+        w.clear();
+        assert!(w.is_empty());
+        w.u8(1);
+        assert_eq!(w.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn reader_position_tracks_fields() {
+        let mut w = Writer::new();
+        w.u32(9).bytes(b"xyz");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.position(), 0);
+        r.u32().unwrap();
+        assert_eq!(r.position(), 4);
+        let start = {
+            r.u32().unwrap(); // length prefix of the bytes field
+            r.position()
+        };
+        assert_eq!(&buf[start..start + 3], b"xyz");
     }
 }

@@ -224,8 +224,9 @@ where
     F: FnMut(&mut Sim) -> bool + 'static,
 {
     assert!(!period.is_zero(), "periodic event with zero period");
-    let f = Rc::new(std::cell::RefCell::new(f));
-    fn tick(sim: &mut Sim, period: Nanos, f: Rc<std::cell::RefCell<dyn FnMut(&mut Sim) -> bool>>) {
+    type PeriodicFn = Rc<std::cell::RefCell<dyn FnMut(&mut Sim) -> bool>>;
+    let f: PeriodicFn = Rc::new(std::cell::RefCell::new(f));
+    fn tick(sim: &mut Sim, period: Nanos, f: PeriodicFn) {
         let keep = (f.borrow_mut())(sim);
         if keep {
             let next = sim.now() + period;

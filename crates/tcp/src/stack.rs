@@ -598,8 +598,10 @@ mod tests {
 
     #[test]
     fn lossy_fabric_is_recovered_by_retransmit() {
-        let mut cfg = TcpConfig::default();
-        cfg.rto = Nanos::from_millis(2);
+        let cfg = TcpConfig {
+            rto: Nanos::from_millis(2),
+            ..Default::default()
+        };
         let mut p = pair(cfg, 0.05);
         let delivered = Rc::new(Cell::new(0u64));
         let d = delivered.clone();

@@ -33,7 +33,7 @@ fn main() {
     // with byte (i % 251).
     let mut heap = Vec::with_capacity((BUCKETS * VALUE_LEN as u64) as usize);
     for i in 0..BUCKETS {
-        heap.extend(std::iter::repeat((i % 251) as u8).take(VALUE_LEN as usize));
+        heap.extend(std::iter::repeat_n((i % 251) as u8, VALUE_LEN as usize));
     }
     let heap_region = tb.hosts[1]
         .regions

@@ -29,22 +29,22 @@ fn main() {
         clients.push(tb.pony_app(h, &format!("job{h}"), |_| {}));
     }
     let mut conns = vec![vec![0u64; HOSTS]; HOSTS];
-    for a in 0..HOSTS {
-        for b in 0..HOSTS {
+    for (a, row) in conns.iter_mut().enumerate() {
+        for (b, conn) in row.iter_mut().enumerate() {
             if a != b {
-                conns[a][b] = tb.connect(a, &format!("job{a}"), b, &format!("job{b}"));
+                *conn = tb.connect(a, &format!("job{a}"), b, &format!("job{b}"));
             }
         }
     }
     // Generous receive buffers for the 1 MB RPCs: conns[a][b] carries
     // a's sends toward b, so *b* (the receiver) posts the buffers.
-    for a in 0..HOSTS {
-        for b in 0..HOSTS {
+    for (a, row) in conns.iter().enumerate() {
+        for (b, conn) in row.iter().enumerate() {
             if a != b {
                 clients[b].submit(
                     &mut tb.sim,
                     PonyCommand::PostRecvBuffers {
-                        conn: conns[a][b],
+                        conn: *conn,
                         count: 4096,
                     },
                 );
@@ -55,7 +55,7 @@ fn main() {
     let mut rng = Rng::new(7);
     let mut latency = Histogram::new();
     let per_job_rate = 120.0; // RPCs/sec per job
-    let mut next_fire = vec![Nanos::ZERO; HOSTS];
+    let mut next_fire = [Nanos::ZERO; HOSTS];
     let mut delivered_bytes = 0u64;
 
     let start = tb.sim.now();

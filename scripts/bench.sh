@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pr2.json: the datapath-batching bench trajectory
+# (ping-pong + streaming, batched vs batch-of-1 ablation).
+#
+# The virtual-time metrics (ops, packets, simulated Mops/s, simulated
+# CPU per packet) are fully deterministic under the fixed seed baked
+# into the bench; only the wall-clock columns vary with the machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p snap-bench --bin bench_datapath
+cargo run --release -q -p snap-bench --bin bench_datapath "${1:-BENCH_pr2.json}"

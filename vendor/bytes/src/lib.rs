@@ -1,55 +1,59 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Implements only the subset of the real API this workspace uses:
-//! cheaply-clonable immutable byte buffers. Backed by `Arc<[u8]>`, so
-//! `clone()` is a refcount bump like the real thing (no slicing
-//! windows — `slice` copies, which is fine for a simulator).
+//! cheaply-clonable immutable byte buffers with zero-copy slicing.
+//! Backed by `Arc<Vec<u8>>` plus an (offset, len) window, so both
+//! `clone()` and `slice()` are refcount bumps like the real thing,
+//! and `From<Vec<u8>>` takes ownership without copying.
 
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable chunk of contiguous memory.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates a new empty `Bytes`.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
         }
     }
 
     /// Creates `Bytes` from a static slice without copying semantics
     /// mattering (this stand-in copies; callers cannot tell).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Copies `data` into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a copy of the sub-range as its own `Bytes`.
+    /// Returns the sub-range as its own `Bytes` sharing the same
+    /// backing allocation (zero-copy: only the window moves).
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -60,34 +64,63 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of len {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Mutable access to the visible window when this handle is the
+    /// only owner of the backing allocation; `None` if the buffer is
+    /// shared (callers fall back to a copy-on-write path).
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        let off = self.off;
+        let len = self.len;
+        Arc::get_mut(&mut self.data).map(|v| &mut v[off..off + len])
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -115,6 +148,32 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
         self.as_ref() == other
@@ -130,7 +189,7 @@ impl PartialEq<Vec<u8>> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -156,9 +215,34 @@ mod tests {
     }
 
     #[test]
-    fn slicing_copies() {
+    fn slicing_shares_backing() {
         let b = Bytes::from_static(b"hello world");
-        assert_eq!(&b.slice(6..)[..], b"world");
+        let tail = b.slice(6..);
+        assert_eq!(&tail[..], b"world");
         assert_eq!(&b.slice(..5)[..], b"hello");
+        // Nested slices compose their windows.
+        assert_eq!(&tail.slice(1..3)[..], b"or");
+        // Equality and hashing see only the window.
+        assert_eq!(tail, Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn try_mut_unique_vs_shared() {
+        let mut b = Bytes::from(vec![0u8; 4]);
+        b.try_mut().expect("unique")[2] = 9;
+        assert_eq!(&b[..], &[0, 0, 9, 0]);
+        let clone = b.clone();
+        assert!(b.try_mut().is_none(), "shared buffers are immutable");
+        drop(clone);
+        assert!(b.try_mut().is_some(), "unique again after clone drops");
+    }
+
+    #[test]
+    fn try_mut_respects_window() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]).slice(1..4);
+        let w = b.try_mut().expect("unique");
+        assert_eq!(w.len(), 3);
+        w[0] = 42;
+        assert_eq!(&b[..], &[42, 3, 4]);
     }
 }
