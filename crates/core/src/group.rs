@@ -701,9 +701,13 @@ impl GroupHandle {
     ) -> Result<(), ControlError> {
         {
             let mut g = self.inner.borrow_mut();
-            let slot = g.slots[id.0 as usize].as_mut().ok_or_else(|| {
-                ControlError::Unavailable(format!("engine {} removed", id.0))
-            })?;
+            let slot = g
+                .slots
+                .get_mut(id.0 as usize)
+                .and_then(|s| s.as_mut())
+                .ok_or_else(|| {
+                    ControlError::Unavailable(format!("engine {} removed", id.0))
+                })?;
             if slot.mailbox.is_some() {
                 return Err(ControlError::Busy(format!(
                     "engine {} mailbox occupied",
@@ -1191,6 +1195,14 @@ mod tests {
         .unwrap();
         sim.run();
         assert_eq!(processed(&g, id), 2);
+    }
+
+    #[test]
+    fn post_to_out_of_range_engine_is_unavailable_not_a_panic() {
+        let mut sim = Sim::new();
+        let (g, _id) = counting_group(SchedulingMode::Spreading);
+        let r = g.post_to_engine(&mut sim, EngineId(42), Box::new(|_| {}));
+        assert!(matches!(r, Err(ControlError::Unavailable(_))));
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub use kernel_inject::{InjectEngine, KernelRing};
 pub use virt::{Route, VirtAddr, VirtEngine};
 pub use group::{EngineGroup, EngineHealth, GroupConfig, GroupHandle, SchedulingMode};
 pub use module::{ControlError, Module, SnapProcess};
-pub use supervisor::{RestartFactory, Supervisor, SupervisorConfig, SupervisorReport};
+pub use supervisor::{RestartFactory, RestartKind, RestartRecord, Supervisor, SupervisorConfig, SupervisorReport};
 pub use upgrade::{UpgradeOrchestrator, UpgradeReport};

@@ -100,13 +100,40 @@ struct SupervisorInner {
     cfg: SupervisorConfig,
     watched: Vec<Watched>,
     report: SupervisorReport,
+    restart_log: Vec<RestartRecord>,
     started: bool,
     stopped: bool,
 }
 
-enum RestartKind {
+/// Why an engine was restarted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartKind {
+    /// The engine's thread died (crash flag set).
     Crash,
+    /// Pending work aged past the wedge threshold with no progress.
     Wedge,
+}
+
+/// One restart, with its blackout window — the supervisor-side analogue
+/// of an upgrade's per-engine blackout record (Fig. 9). Telemetry polls
+/// [`Supervisor::restart_log`] to build blackout histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// The restarted engine.
+    pub id: EngineId,
+    /// Crash or wedge.
+    pub kind: RestartKind,
+    /// When the failure was detected (blackout start).
+    pub detected: Nanos,
+    /// When the revived engine resumed; `None` while in flight.
+    pub resumed: Option<Nanos>,
+}
+
+impl RestartRecord {
+    /// Blackout duration, once the restart has completed.
+    pub fn blackout(&self) -> Option<Nanos> {
+        self.resumed.map(|r| r.saturating_sub(self.detected))
+    }
 }
 
 /// Cloneable handle to the supervision loop.
@@ -123,6 +150,7 @@ impl Supervisor {
                 cfg,
                 watched: Vec::new(),
                 report: SupervisorReport::default(),
+                restart_log: Vec::new(),
                 started: false,
                 stopped: false,
             })),
@@ -186,6 +214,12 @@ impl Supervisor {
     /// Activity counters snapshot.
     pub fn report(&self) -> SupervisorReport {
         self.inner.borrow().report.clone()
+    }
+
+    /// Every restart so far, in detection order. Completed entries have
+    /// `resumed` set; in-flight ones don't yet.
+    pub fn restart_log(&self) -> Vec<RestartRecord> {
+        self.inner.borrow().restart_log.clone()
     }
 
     /// Age of the most recent checkpoint of `id`'s watch entry, if any.
@@ -262,7 +296,7 @@ impl Supervisor {
     /// Rebuilds watched engine `i` from its last checkpoint after the
     /// configured blackout.
     fn restart(&self, sim: &mut Sim, i: usize, kind: RestartKind) {
-        let (group, id, restart_cost) = {
+        let (group, id, restart_cost, log_idx) = {
             let mut inner = self.inner.borrow_mut();
             inner.watched[i].restarting = true;
             match kind {
@@ -270,7 +304,14 @@ impl Supervisor {
                 RestartKind::Wedge => inner.report.wedge_restarts += 1,
             }
             let w = &inner.watched[i];
-            (w.group.clone(), w.id, inner.cfg.restart_cost)
+            let (group, id, cost) = (w.group.clone(), w.id, inner.cfg.restart_cost);
+            inner.restart_log.push(RestartRecord {
+                id,
+                kind,
+                detected: sim.now(),
+                resumed: None,
+            });
+            (group, id, cost, inner.restart_log.len() - 1)
         };
         if matches!(kind, RestartKind::Wedge) {
             // The wedged engine is still resident: suspend it (running
@@ -291,6 +332,7 @@ impl Supervisor {
             let mut inner = handle.inner.borrow_mut();
             inner.watched[i].restarting = false;
             inner.watched[i].last_restart = sim.now();
+            inner.restart_log[log_idx].resumed = Some(sim.now());
         });
     }
 }
@@ -458,6 +500,16 @@ mod tests {
         // ...and alive once the blackout has elapsed.
         sim.run_until(Nanos::from_millis(5));
         assert!(!g.engine_health(id).expect("slot").crashed);
+        // The restart log records the blackout window.
+        let log = s.restart_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].id, id);
+        assert_eq!(log[0].kind, RestartKind::Crash);
+        let blackout = log[0].blackout().expect("restart completed");
+        assert!(
+            blackout >= Nanos::from_millis(3),
+            "blackout {blackout} below configured restart cost"
+        );
         s.stop();
     }
 }

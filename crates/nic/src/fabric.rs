@@ -116,6 +116,23 @@ struct HostFaultDrops {
     corruption: u64,
 }
 
+/// Per-directed-link (`src -> dst`) traffic and drop counters, surfaced
+/// through [`FabricHandle::link_stats`]. Directed so telemetry can tell
+/// which side of an asymmetric partition is black-holing traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Wire bytes delivered `src -> dst` (for utilization gauges).
+    pub bytes: u64,
+    /// Packets delivered `src -> dst`.
+    pub delivered: u64,
+    /// Packets `src -> dst` dropped by a partition (symmetric or
+    /// one-way) at the switch.
+    pub partition_drops: u64,
+    /// Packets `src -> dst` corrupted in flight (they still burn
+    /// bandwidth; the destination NIC CRC-rejects them).
+    pub corrupted: u64,
+}
+
 struct EgressPort {
     busy_until: Nanos,
     queued_bytes: u64,
@@ -129,6 +146,11 @@ pub struct Fabric {
     egress: HashMap<HostId, EgressPort>,
     /// Partitioned host pairs, stored normalized (min, max).
     partitions: HashSet<(HostId, HostId)>,
+    /// One-way partitions, stored directed (from, to): only packets
+    /// `from -> to` are dropped.
+    oneway_partitions: HashSet<(HostId, HostId)>,
+    /// Per-directed-link traffic/drop counters, keyed (src, dst).
+    links: HashMap<(HostId, HostId), LinkStats>,
     /// Stalled tx queues: (host, queue) -> virtual time the stall lifts.
     queue_stalls: HashMap<(HostId, u16), Nanos>,
     /// Fault-injection drops broken down by destination host.
@@ -151,6 +173,8 @@ impl Fabric {
             uplink_busy: HashMap::new(),
             egress: HashMap::new(),
             partitions: HashSet::new(),
+            oneway_partitions: HashSet::new(),
+            links: HashMap::new(),
             queue_stalls: HashMap::new(),
             fault_drops: HashMap::new(),
             rng,
@@ -188,11 +212,16 @@ impl Fabric {
             self.stats.random_drops += 1;
             return None;
         }
-        // Partition: the switch forwards nothing between the
-        // partitioned pair.
-        if self.partitions.contains(&norm_pair(pkt.src, pkt.dst)) {
+        // Partition: the switch forwards nothing between a symmetric
+        // partitioned pair, and nothing in the dead direction of a
+        // one-way partition. Drops are counted per directed link so
+        // telemetry can tell which direction is black-holing.
+        if self.partitions.contains(&norm_pair(pkt.src, pkt.dst))
+            || self.oneway_partitions.contains(&(pkt.src, pkt.dst))
+        {
             self.stats.partition_drops += 1;
             self.fault_drops.entry(pkt.dst).or_default().partition += 1;
+            self.links.entry((pkt.src, pkt.dst)).or_default().partition_drops += 1;
             return None;
         }
         // Payload corruption: flip one bit, leave the CRC stale; the
@@ -207,6 +236,7 @@ impl Fabric {
             pkt.corrupt(byte, bit);
             self.stats.corrupted += 1;
             self.fault_drops.entry(pkt.dst).or_default().corruption += 1;
+            self.links.entry((pkt.src, pkt.dst)).or_default().corrupted += 1;
         }
         // Buffer admission at the destination egress port.
         let limit = match pkt.qos {
@@ -302,6 +332,51 @@ impl FabricHandle {
     /// Returns true if `a` and `b` are currently partitioned.
     pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
         self.inner.borrow().partitions.contains(&norm_pair(a, b))
+    }
+
+    /// Asymmetric partition: drops only packets `from -> to` at the
+    /// switch; the reverse direction keeps flowing (a gray failure —
+    /// acks arrive, data does not). Idempotent; independent of any
+    /// symmetric partition on the same pair.
+    pub fn partition_oneway(&self, from: HostId, to: HostId) {
+        self.inner.borrow_mut().oneway_partitions.insert((from, to));
+    }
+
+    /// Heals a one-way partition `from -> to`. Idempotent.
+    pub fn heal_oneway(&self, from: HostId, to: HostId) {
+        self.inner.borrow_mut().oneway_partitions.remove(&(from, to));
+    }
+
+    /// Returns true if packets `from -> to` are currently dropped by a
+    /// one-way partition (does not consider symmetric partitions).
+    pub fn is_partitioned_oneway(&self, from: HostId, to: HostId) -> bool {
+        self.inner.borrow().oneway_partitions.contains(&(from, to))
+    }
+
+    /// Traffic/drop counters for the directed link `from -> to`.
+    /// Zeroed stats for a link that never carried or dropped a packet.
+    pub fn link_stats(&self, from: HostId, to: HostId) -> LinkStats {
+        self.inner
+            .borrow()
+            .links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every directed link with any activity, sorted (src, dst) for
+    /// deterministic iteration, with its counters.
+    pub fn links(&self) -> Vec<((HostId, HostId), LinkStats)> {
+        let fabric = self.inner.borrow();
+        let mut out: Vec<_> = fabric.links.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Line rate (Gbps) of a host's NIC, if the host exists — the
+    /// denominator for link-utilization gauges.
+    pub fn host_gbps(&self, host: HostId) -> Option<f64> {
+        self.inner.borrow().nics.get(&host).map(|n| n.config().gbps)
     }
 
     /// Stalls a host's tx queue until absolute time `until` (models a
@@ -552,6 +627,13 @@ impl FabricHandle {
                     return;
                 };
                 let n = pkts.len() as u64;
+                if fabric.nics.contains_key(&dst) {
+                    for pkt in &pkts {
+                        let link = fabric.links.entry((pkt.src, pkt.dst)).or_default();
+                        link.bytes += pkt.wire_size as u64;
+                        link.delivered += 1;
+                    }
+                }
                 let Some(nic) = fabric.nics.get_mut(&dst) else {
                     return;
                 };
@@ -584,6 +666,12 @@ impl FabricHandle {
             let (irq, handler) = {
                 let mut fabric = handle.inner.borrow_mut();
                 let dst = pkt.dst;
+                if !fabric.nics.contains_key(&dst) {
+                    return;
+                }
+                let link = fabric.links.entry((pkt.src, pkt.dst)).or_default();
+                link.bytes += pkt.wire_size as u64;
+                link.delivered += 1;
                 let Some(nic) = fabric.nics.get_mut(&dst) else {
                     return;
                 };
@@ -779,6 +867,55 @@ mod tests {
         fabric.transmit(&mut sim, 0, packet(a, b, 100)).unwrap();
         sim.run();
         assert_eq!(fabric.stats().delivered, 1);
+    }
+
+    #[test]
+    fn oneway_partition_drops_only_one_direction() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        fabric.partition_oneway(a, b);
+        assert!(fabric.is_partitioned_oneway(a, b));
+        assert!(!fabric.is_partitioned_oneway(b, a), "one-way is directed");
+        assert!(!fabric.is_partitioned(a, b), "not a symmetric partition");
+        fabric.transmit(&mut sim, 0, packet(a, b, 100)).unwrap();
+        fabric.transmit(&mut sim, 0, packet(b, a, 100)).unwrap();
+        sim.run();
+        // a -> b dead, b -> a alive.
+        assert_eq!(fabric.stats().partition_drops, 1);
+        assert_eq!(fabric.stats().delivered, 1);
+        assert_eq!(fabric.with_nic(a, |n| n.rx_pending_total()), 1);
+        assert_eq!(fabric.with_nic(b, |n| n.rx_pending_total()), 0);
+        // The drop is attributed to the directed link a -> b only.
+        assert_eq!(fabric.link_stats(a, b).partition_drops, 1);
+        assert_eq!(fabric.link_stats(b, a).partition_drops, 0);
+        assert_eq!(fabric.link_stats(b, a).delivered, 1);
+        fabric.heal_oneway(a, b);
+        fabric.transmit(&mut sim, 0, packet(a, b, 100)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().delivered, 2);
+        assert_eq!(fabric.link_stats(a, b).delivered, 1);
+    }
+
+    #[test]
+    fn link_stats_track_directed_traffic() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        for _ in 0..3 {
+            fabric.transmit(&mut sim, 0, packet(a, b, 1000)).unwrap();
+        }
+        fabric.transmit(&mut sim, 0, packet(b, a, 500)).unwrap();
+        sim.run();
+        let ab = fabric.link_stats(a, b);
+        let ba = fabric.link_stats(b, a);
+        assert_eq!(ab.delivered, 3);
+        assert_eq!(ba.delivered, 1);
+        assert!(ab.bytes >= 3000, "wire bytes include headers: {}", ab.bytes);
+        assert!(ba.bytes >= 500 && ba.bytes < ab.bytes);
+        let links = fabric.links();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].0, (a, b), "links sorted by (src, dst)");
+        assert!(fabric.host_gbps(a).is_some());
+        assert!(fabric.host_gbps(999).is_none());
     }
 
     #[test]

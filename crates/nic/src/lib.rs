@@ -32,6 +32,6 @@ pub mod nic;
 pub mod packet;
 
 pub use copy_engine::CopyEngine;
-pub use fabric::{Fabric, FabricConfig, FabricHandle};
+pub use fabric::{DropReasons, Fabric, FabricConfig, FabricHandle, FabricStats, LinkStats};
 pub use nic::{NicConfig, NicStats, VirtNic};
 pub use packet::{HostId, Packet, QosClass};

@@ -272,6 +272,29 @@ impl PonyEngine {
         &self.stats
     }
 
+    /// Sessions this engine owns (polls). A shared engine owns every
+    /// session bootstrapped against it; the shared [`SessionTable`] may
+    /// hold other engines' sessions too.
+    pub fn owned_sessions(&self) -> &[u64] {
+        &self.owned_sessions
+    }
+
+    /// Pending command-queue depth per owned session: `(session id,
+    /// commands waiting)`. The SPSC consumer length, sampled without
+    /// draining — the telemetry queue-depth gauge source.
+    pub fn session_depths(&self) -> Vec<(u64, usize)> {
+        let table = self.sessions.borrow();
+        self.owned_sessions
+            .iter()
+            .map(|sid| {
+                (
+                    *sid,
+                    table.get(sid).map(|ep| ep.commands_pending()).unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
     /// Debug: (first flow's Timely rate B/s, total retransmits, inflight).
     pub fn debug_flow_info(&self) -> (f64, u64, usize) {
         let mut rate = 0.0;

@@ -125,6 +125,11 @@ pub struct PonyModule {
     net: PonyNetHandle,
     group: GroupHandle,
     sessions: SessionTable,
+    /// Which engine owns each bootstrapped session — the control-plane
+    /// record of per-engine session ownership. Restart factories close
+    /// over it so a *shared* engine rebuilt from a corrupt checkpoint
+    /// re-injects only its own sessions, never the whole host's.
+    sessions_by_engine: Rc<RefCell<HashMap<EngineId, Vec<u64>>>>,
     engines: HashMap<String, EngineId>,
     queue_owner: Rc<RefCell<HashMap<u16, EngineId>>>,
     next_session: u64,
@@ -162,6 +167,7 @@ impl PonyModule {
             net,
             group,
             sessions,
+            sessions_by_engine: Rc::new(RefCell::new(HashMap::new())),
             engines: HashMap::new(),
             queue_owner,
             next_session: 1,
@@ -273,6 +279,11 @@ impl PonyModule {
             self.sessions.borrow_mut().remove(&sid);
             return Err(e);
         }
+        self.sessions_by_engine
+            .borrow_mut()
+            .entry(engine_id)
+            .or_default()
+            .push(sid);
         if let Some(entry) = self
             .net
             .borrow_mut()
@@ -368,9 +379,11 @@ impl PonyModule {
 
     /// Builds the supervisor restart factory for an app's engine: like
     /// [`PonyModule::upgrade_factory`] but reusable across restarts.
-    /// A checkpoint that fails to deserialize falls back to a fresh
-    /// engine with the host's sessions re-injected (without the
-    /// checkpoint the per-engine ownership split is unknowable) —
+    /// A healthy checkpoint carries the engine's own session-ownership
+    /// list; a checkpoint that fails to deserialize falls back to a
+    /// fresh engine with only *this engine's* sessions re-injected
+    /// (from the module's control-plane ownership record, so a shared
+    /// engine's restart never steals other engines' sessions) —
     /// connection state is lost but control-plane attachments survive,
     /// and peers recover via their own SACK/RTO machinery.
     pub fn restart_factory(&self, app: &str) -> Result<RestartFactory, PonyError> {
@@ -378,6 +391,7 @@ impl PonyModule {
         let fabric = self.fabric.clone();
         let regions = self.regions.clone();
         let sessions = self.sessions.clone();
+        let owned = self.sessions_by_engine.clone();
         let group = self.group.clone();
         Ok(Rc::new(move |state: Vec<u8>, sim: &mut Sim| {
             let now = sim.now();
@@ -397,8 +411,10 @@ impl PonyModule {
                         regions.clone(),
                         sessions.clone(),
                     );
-                    for sid in sessions.borrow().keys() {
-                        fresh.add_session(*sid);
+                    if let Some(sids) = owned.borrow().get(&engine_id) {
+                        for sid in sids {
+                            fresh.add_session(*sid);
+                        }
                     }
                     fresh
                 }
@@ -411,6 +427,28 @@ impl PonyModule {
     /// The engine id serving `app`, if any.
     pub fn engine_for(&self, app: &str) -> Option<EngineId> {
         self.engines.get(app).copied()
+    }
+
+    /// Every registered (app, engine) pair, sorted by app name for
+    /// deterministic iteration. Shared engines appear once per attached
+    /// app — callers watching engines should dedupe on the id.
+    pub fn apps(&self) -> Vec<(String, EngineId)> {
+        let mut out: Vec<(String, EngineId)> = self
+            .engines
+            .iter()
+            .map(|(app, &id)| (app.clone(), id))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Sessions owned by `app`'s engine, in open order (control-plane
+    /// ownership record; empty if the app has no engine or sessions).
+    pub fn sessions_for(&self, app: &str) -> Vec<u64> {
+        self.engines
+            .get(app)
+            .and_then(|id| self.sessions_by_engine.borrow().get(id).cloned())
+            .unwrap_or_default()
     }
 }
 

@@ -93,6 +93,23 @@ pub enum FaultEvent {
         /// The other endpoint host.
         b: u32,
     },
+    /// Asymmetric partition: the switch drops packets `from -> to` only;
+    /// the reverse direction keeps flowing. Models one-way link faults
+    /// (a dead transceiver lane, a bad ACL) where acks still arrive but
+    /// data does not — a classic gray failure.
+    PartitionOneWay {
+        /// Source host whose packets are dropped.
+        from: u32,
+        /// Destination host that stops hearing from `from`.
+        to: u32,
+    },
+    /// Heal a previously injected one-way partition `from -> to`.
+    HealOneWay {
+        /// Source host of the healed direction.
+        from: u32,
+        /// Destination host of the healed direction.
+        to: u32,
+    },
     /// Set the per-packet payload-corruption probability on the fabric.
     /// Corrupted packets carry a stale CRC and must be rejected by the
     /// receive path. A rate of zero turns corruption off.
@@ -158,7 +175,7 @@ impl FaultPlan {
             // Transient faults last 1-10% of the horizon.
             let dur = Nanos(horizon.as_nanos() / 100 * (1 + rng.below(10)));
             let end = Nanos((at + dur).as_nanos().min(horizon.as_nanos()));
-            match rng.below(5) {
+            match rng.below(6) {
                 0 => plan = plan.at(at, FaultEvent::EngineCrash { host, engine }),
                 1 => {
                     plan = plan.at(at, FaultEvent::EngineStall { host, engine, duration: dur });
@@ -172,6 +189,12 @@ impl FaultPlan {
                 3 => {
                     let queue = rng.below(4) as u16;
                     plan = plan.at(at, FaultEvent::NicQueueStall { host, queue, duration: dur });
+                }
+                4 => {
+                    let other = (host + 1 + rng.below((hosts - 1) as u64) as u32) % hosts;
+                    plan = plan
+                        .at(at, FaultEvent::PartitionOneWay { from: host, to: other })
+                        .at(end, FaultEvent::HealOneWay { from: host, to: other });
                 }
                 _ => {
                     let prob = (1 + rng.below(20)) as f64 / 1000.0;
@@ -240,6 +263,7 @@ mod tests {
     fn randomized_partitions_always_heal() {
         let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 40);
         let mut open: Vec<(u32, u32)> = Vec::new();
+        let mut open_oneway: Vec<(u32, u32)> = Vec::new();
         let mut entries = plan.entries().to_vec();
         entries.sort_by_key(|(at, _)| *at);
         for (_, ev) in &entries {
@@ -249,10 +273,32 @@ mod tests {
                     let idx = open.iter().position(|p| p == &(*a, *b)).expect("heal matches");
                     open.remove(idx);
                 }
+                FaultEvent::PartitionOneWay { from, to } => open_oneway.push((*from, *to)),
+                FaultEvent::HealOneWay { from, to } => {
+                    let idx = open_oneway
+                        .iter()
+                        .position(|p| p == &(*from, *to))
+                        .expect("one-way heal matches");
+                    open_oneway.remove(idx);
+                }
                 _ => {}
             }
         }
         assert!(open.is_empty(), "unhealed partitions: {open:?}");
+        assert!(open_oneway.is_empty(), "unhealed one-way partitions: {open_oneway:?}");
+    }
+
+    #[test]
+    fn randomized_plans_include_oneway_partitions() {
+        // With enough draws the 6-way fault mix must produce at least
+        // one asymmetric partition (fixed seed keeps this stable).
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 60);
+        assert!(
+            plan.entries()
+                .iter()
+                .any(|(_, ev)| matches!(ev, FaultEvent::PartitionOneWay { .. })),
+            "no one-way partition in 60 draws"
+        );
     }
 
     #[test]

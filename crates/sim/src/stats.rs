@@ -179,6 +179,38 @@ impl Histogram {
         }
     }
 
+    /// The histogram of values recorded since `earlier` was captured,
+    /// assuming `earlier` is a past snapshot of this histogram (its
+    /// per-bucket counts are a prefix of ours). Used for snapshot/delta
+    /// telemetry export: `current.diff(&previous)` is the activity in
+    /// the window between the two snapshots.
+    ///
+    /// Min/max are recomputed from the surviving buckets' midpoint
+    /// values (the exact extremes of the window are not recoverable),
+    /// clamped to the cumulative observed range. If `earlier` is not
+    /// actually a prefix (e.g. the histogram was reset in between),
+    /// per-bucket subtraction saturates at zero, which degrades to
+    /// "everything recorded since the reset" — never a double count.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            let d = a.saturating_sub(*b);
+            if d > 0 {
+                let v = Self::value_of(i);
+                out.buckets[i] = d;
+                out.count += d;
+                out.sum += v as u128 * d as u128;
+                out.min = out.min.min(v);
+                out.max = out.max.max(v);
+            }
+        }
+        if out.count > 0 {
+            out.min = out.min.max(self.min);
+            out.max = out.max.min(self.max);
+        }
+        out
+    }
+
     /// Clears all recorded data.
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
@@ -412,6 +444,31 @@ mod tests {
             assert!(q >= last, "quantile not monotone at {i}");
             last = q;
         }
+    }
+
+    #[test]
+    fn diff_isolates_the_window() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(10_000);
+        let snap = h.clone();
+        h.record(1_000_000);
+        h.record_n(500, 3);
+        let d = h.diff(&snap);
+        assert_eq!(d.count(), 4);
+        assert!(d.min() >= 100, "window min {}", d.min());
+        assert!(d.max() >= 990_000, "window max {}", d.max());
+        // p50 of the window sits at the 500-value cluster.
+        let p50 = d.median() as f64;
+        assert!((p50 / 500.0 - 1.0).abs() < 0.05, "p50 {p50}");
+        // Empty window.
+        let none = h.diff(&h.clone());
+        assert!(none.is_empty());
+        // A reset in between saturates instead of double counting.
+        let mut r = Histogram::new();
+        r.record(42);
+        let d = r.diff(&snap);
+        assert_eq!(d.count(), 1);
     }
 
     #[test]

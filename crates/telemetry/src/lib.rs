@@ -1,0 +1,57 @@
+//! Observability for the Snap reproduction (PR 3).
+//!
+//! Snap's evaluation is driven by production dashboards: per-engine
+//! op-rate time series (Fig. 8), tail-latency breakdowns (Fig. 6/7),
+//! and an upgrade-blackout distribution (Fig. 9). This crate is the
+//! first-class observability layer those dashboards imply, in three
+//! pieces:
+//!
+//! * **[`registry`]** — hierarchical [`Counter`]/[`Gauge`]/
+//!   [`Histogram`](snap_sim::stats::Histogram) handles under dotted
+//!   names (`engine.<app>.tx_packets`, `shm.<app>.s<sid>.cmd_depth`,
+//!   `fabric.link.<a>-><b>.drops.partition`), with cheap per-scope
+//!   views and point-in-time [`Snapshot`]s that diff (`delta`) and
+//!   export to JSON or a human-readable table.
+//! * **[`span`]** — tracing spans measured on *simulated* time
+//!   ([`snap_sim::Nanos`]): enter/exit pairs feed per-op latency
+//!   histograms plus an optional bounded ring-buffer event log for
+//!   debugging fault tests.
+//! * **[`module`]** — [`StatsModule`], a control-plane module (same
+//!   no-panic lint wall as the other Snap modules) that polls engines
+//!   through their mailboxes on a configurable period and folds engine
+//!   counters, SPSC queue depths, fabric link utilization and
+//!   drop-reason counters, supervisor restarts and upgrade blackouts
+//!   into one machine-level registry — the repro's dashboard exporter.
+//!
+//! The datapath itself stays uninstrumented: engines keep their plain
+//! `u64` counters, and all telemetry cost is concentrated in the
+//! periodic control-plane poll, so instrumentation is measurably
+//! near-free when snapshots are not taken (bench-verified by
+//! `bench_telemetry`, `BENCH_pr3.json`).
+//!
+//! ## Metric naming scheme
+//!
+//! | prefix | meaning |
+//! |---|---|
+//! | `engine.<label>.<counter>` | PonyEngine op counters (rx/tx/commands/…) |
+//! | `engine.<label>.restarts.{crash,wedge}` | supervisor restarts |
+//! | `engine.<label>.blackout` | restart blackout histogram (ns) |
+//! | `shm.<label>.s<sid>.cmd_depth` | per-session SPSC command-queue depth gauge |
+//! | `fabric.{delivered,switch_drops,random_drops,partition_drops,corrupted}` | fabric totals |
+//! | `fabric.host<h>.drops.{crc_bad,partition,corruption,no_buffer}` | per-dest-host drop reasons |
+//! | `fabric.link.<a>-><b>.{bytes,delivered}` | per-directed-link traffic |
+//! | `fabric.link.<a>-><b>.drops.{partition,corruption}` | directed drop reasons |
+//! | `fabric.link.<a>-><b>.util_pct` | egress utilization over the last poll window |
+//! | `upgrade.{blackout,brownout}` | per-engine upgrade histograms (ns) |
+//! | `upgrade.{engines,rollbacks}` | upgrade outcome counters |
+//! | `span.<scope>.<op>` | span latency histograms (ns) |
+
+pub mod export;
+pub mod module;
+pub mod registry;
+pub mod span;
+
+pub use export::{Metric, Snapshot};
+pub use module::{StatsConfig, StatsModule};
+pub use registry::{Counter, Gauge, HistogramHandle, Registry, ScopedRegistry};
+pub use span::{Span, TraceEvent, TraceLog, Tracer};

@@ -1,0 +1,514 @@
+//! [`StatsModule`]: the control-plane stats exporter.
+//!
+//! Snap's dashboards are fed by a control-plane component that walks
+//! engines and devices on a period and publishes machine-level
+//! counters; this module reproduces that shape. It keeps a
+//! [`Registry`] and a list of watch targets:
+//!
+//! * **Engines** are sampled through their *mailboxes* — the same
+//!   depth-1 control channel every other module uses — so a sample is
+//!   always a coherent view taken between engine passes, never a torn
+//!   read of a running engine. Polling is *ingest-then-request*: each
+//!   tick first ingests whatever sample the previously-posted mailbox
+//!   closure deposited, then posts a new request. A `Busy` or
+//!   `Unavailable` mailbox (engine crashed, mid-upgrade) just skips a
+//!   tick.
+//! * Engine counters are folded in as **reset-aware deltas**: the
+//!   watched counter going *backwards* means the engine restarted (or
+//!   was replaced by an upgrade) and reset to zero, so the new absolute
+//!   value *is* the delta. Machine-level counters therefore never
+//!   double-count and never lose ops across a crash+restart or a live
+//!   upgrade.
+//! * **Fabric** link/host/total counters, **supervisor** restart
+//!   records (blackout histograms), and a pending **upgrade report**
+//!   slot are read directly — they live on the control plane already.
+//!
+//! The datapath is untouched: engines keep their plain `u64` counters
+//! and all cost is concentrated here, in the periodic poll.
+
+// Control-plane code must degrade into typed errors, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use snap_core::group::{GroupHandle, MailboxWork};
+use snap_core::module::{ControlCx, ControlError, Module};
+use snap_core::supervisor::{RestartKind, Supervisor};
+use snap_core::upgrade::UpgradeReport;
+use snap_core::{Engine, EngineId};
+use snap_nic::fabric::{DropReasons, FabricHandle, FabricStats, LinkStats};
+use snap_nic::HostId;
+use snap_pony::engine::PonyStats;
+use snap_pony::PonyEngine;
+use snap_sim::{event, Nanos, Sim};
+
+use crate::export::Snapshot;
+use crate::registry::Registry;
+
+/// Stats-export tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// How often the module polls its watch targets.
+    pub poll_period: Nanos,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            poll_period: Nanos::from_micros(1000),
+        }
+    }
+}
+
+/// What one mailbox round-trip brings back from a Pony engine.
+struct EngineSample {
+    stats: PonyStats,
+    depths: Vec<(u64, usize)>,
+}
+
+struct EngineWatch {
+    label: String,
+    group: GroupHandle,
+    id: EngineId,
+    /// Filled by the mailbox closure, drained on the next tick.
+    slot: Rc<RefCell<Option<EngineSample>>>,
+    /// Last absolute counters seen, for reset-aware deltas.
+    last: PonyStats,
+    /// Sessions we have published a depth gauge for (zeroed when gone).
+    known_sessions: Vec<u64>,
+}
+
+struct FabricWatch {
+    fabric: FabricHandle,
+    last_stats: FabricStats,
+    last_drops: HashMap<HostId, DropReasons>,
+    last_links: HashMap<(HostId, HostId), LinkStats>,
+    last_at: Option<Nanos>,
+}
+
+struct SupervisorWatch {
+    sup: Supervisor,
+    labels: HashMap<EngineId, String>,
+    /// Restart-log indices already folded in (records complete out of
+    /// order: `resumed` is stamped after the blackout ends).
+    ingested: Vec<bool>,
+}
+
+struct UpgradeWatch {
+    slot: Rc<RefCell<Option<UpgradeReport>>>,
+    ingested: bool,
+}
+
+struct Inner {
+    cfg: StatsConfig,
+    engines: Vec<EngineWatch>,
+    fabrics: Vec<FabricWatch>,
+    supervisors: Vec<SupervisorWatch>,
+    upgrades: Vec<UpgradeWatch>,
+    running: bool,
+}
+
+/// The stats-export control-plane module. Cloning shares state; see
+/// the [module docs](self) for the polling and delta discipline.
+#[derive(Clone)]
+pub struct StatsModule {
+    registry: Registry,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl StatsModule {
+    /// Creates a stats module with its own empty registry.
+    pub fn new(cfg: StatsConfig) -> Self {
+        StatsModule {
+            registry: Registry::new(),
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                engines: Vec::new(),
+                fabrics: Vec::new(),
+                supervisors: Vec::new(),
+                upgrades: Vec::new(),
+                running: false,
+            })),
+        }
+    }
+
+    /// The backing registry (for spans or ad-hoc app metrics).
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// Watches a Pony engine: its op counters land under
+    /// `engine.<label>.*` and its per-session command-queue depths
+    /// under `shm.<label>.s<sid>.cmd_depth`.
+    pub fn watch_engine(&self, label: &str, group: GroupHandle, id: EngineId) {
+        self.inner.borrow_mut().engines.push(EngineWatch {
+            label: label.to_string(),
+            group,
+            id,
+            slot: Rc::new(RefCell::new(None)),
+            last: PonyStats::default(),
+            known_sessions: Vec::new(),
+        });
+    }
+
+    /// Watches a fabric: totals under `fabric.*`, per-destination-host
+    /// drop reasons under `fabric.host<h>.drops.*`, per-directed-link
+    /// traffic/drops/utilization under `fabric.link.<a>-><b>.*`.
+    pub fn watch_fabric(&self, fabric: FabricHandle) {
+        self.inner.borrow_mut().fabrics.push(FabricWatch {
+            fabric,
+            last_stats: FabricStats::default(),
+            last_drops: HashMap::new(),
+            last_links: HashMap::new(),
+            last_at: None,
+        });
+    }
+
+    /// Watches a supervisor: completed restarts become
+    /// `engine.<label>.restarts.{crash,wedge}` counters and an
+    /// `engine.<label>.blackout` histogram. `labels` maps the
+    /// supervisor's engine ids to telemetry labels; unlisted ids fall
+    /// back to `engine<id>`.
+    pub fn watch_supervisor(&self, sup: Supervisor, labels: &[(EngineId, String)]) {
+        self.inner.borrow_mut().supervisors.push(SupervisorWatch {
+            sup,
+            labels: labels.iter().cloned().collect(),
+            ingested: Vec::new(),
+        });
+    }
+
+    /// Watches an upgrade-report slot (as returned by
+    /// `UpgradeOrchestrator::start`): when the report lands it is
+    /// folded once into `upgrade.{blackout,brownout}` histograms and
+    /// `upgrade.{engines,rollbacks}` counters.
+    pub fn watch_upgrade(&self, slot: Rc<RefCell<Option<UpgradeReport>>>) {
+        self.inner.borrow_mut().upgrades.push(UpgradeWatch {
+            slot,
+            ingested: false,
+        });
+    }
+
+    /// Starts the periodic poll loop (first tick one period from now).
+    pub fn start(&self, sim: &mut Sim) {
+        let period = {
+            let mut inner = self.inner.borrow_mut();
+            inner.running = true;
+            inner.cfg.poll_period
+        };
+        let this = self.clone();
+        let start = sim.now() + period;
+        event::every(sim, start, period, move |sim| {
+            if !this.inner.borrow().running {
+                return false;
+            }
+            this.poll_once(sim);
+            true
+        });
+    }
+
+    /// Stops the poll loop (the pending tick unschedules itself).
+    pub fn stop(&self) {
+        self.inner.borrow_mut().running = false;
+    }
+
+    /// One poll pass over every watch target. Driven by
+    /// [`start`](Self::start), but callable directly for a final
+    /// flush before reading a snapshot.
+    pub fn poll_once(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        // Engine labels for supervisor records, gathered up front.
+        let engine_labels: HashMap<EngineId, String> = inner
+            .engines
+            .iter()
+            .map(|w| (w.id, w.label.clone()))
+            .collect();
+        for w in &mut inner.engines {
+            ingest_engine(&self.registry, w);
+            request_engine_sample(sim, w);
+        }
+        for w in &mut inner.fabrics {
+            poll_fabric(&self.registry, w, sim.now());
+        }
+        for w in &mut inner.supervisors {
+            poll_supervisor(&self.registry, w, &engine_labels);
+        }
+        for w in &mut inner.upgrades {
+            poll_upgrade(&self.registry, w);
+        }
+        self.registry.counter("stats.polls").inc();
+    }
+
+    /// A point-in-time snapshot of the machine-level registry.
+    pub fn snapshot(&self, at: Nanos) -> Snapshot {
+        self.registry.snapshot(at)
+    }
+
+    /// The human-readable table of the current snapshot.
+    pub fn table(&self, at: Nanos) -> String {
+        self.snapshot(at).to_table()
+    }
+}
+
+/// Reset-aware counter delta: a counter that went backwards belonged
+/// to an engine that restarted (or was replaced), so its new absolute
+/// value is the whole delta.
+fn delta(now: u64, last: u64) -> u64 {
+    if now >= last {
+        now - last
+    } else {
+        now
+    }
+}
+
+fn ingest_engine(registry: &Registry, w: &mut EngineWatch) {
+    let Some(sample) = w.slot.borrow_mut().take() else {
+        return;
+    };
+    let scope = registry.scoped(&format!("engine.{}", w.label));
+    let s = &sample.stats;
+    let l = &w.last;
+    scope.counter("rx_packets").add(delta(s.rx_packets, l.rx_packets));
+    scope.counter("tx_packets").add(delta(s.tx_packets, l.tx_packets));
+    scope.counter("commands").add(delta(s.commands, l.commands));
+    scope
+        .counter("onesided_served")
+        .add(delta(s.onesided_served, l.onesided_served));
+    scope
+        .counter("msgs_delivered")
+        .add(delta(s.msgs_delivered, l.msgs_delivered));
+    scope
+        .counter("ops_completed")
+        .add(delta(s.ops_completed, l.ops_completed));
+    scope
+        .counter("completions_dropped")
+        .add(delta(s.completions_dropped, l.completions_dropped));
+    w.last = sample.stats;
+
+    let shm = registry.scoped(&format!("shm.{}", w.label));
+    for (sid, depth) in &sample.depths {
+        shm.gauge(&format!("s{sid}.cmd_depth"))
+            .set(i64::try_from(*depth).unwrap_or(i64::MAX));
+    }
+    // Zero gauges for sessions that disappeared, so a closed session
+    // doesn't leave a stale depth on the dashboard.
+    for sid in &w.known_sessions {
+        if !sample.depths.iter().any(|(s, _)| s == sid) {
+            shm.gauge(&format!("s{sid}.cmd_depth")).set(0);
+        }
+    }
+    w.known_sessions = sample.depths.iter().map(|(s, _)| *s).collect();
+}
+
+fn request_engine_sample(sim: &mut Sim, w: &mut EngineWatch) {
+    let slot = w.slot.clone();
+    let work: MailboxWork = Box::new(move |e: &mut dyn Engine| {
+        if let Some(p) = e.as_any().downcast_mut::<PonyEngine>() {
+            *slot.borrow_mut() = Some(EngineSample {
+                stats: p.stats().clone(),
+                depths: p.session_depths(),
+            });
+        }
+    });
+    // Busy (previous request still pending) or Unavailable (crashed /
+    // mid-upgrade) just means this tick goes without a sample.
+    let _ = w.group.post_to_engine(sim, w.id, work);
+}
+
+fn poll_fabric(registry: &Registry, w: &mut FabricWatch, now: Nanos) {
+    let stats = w.fabric.stats();
+    let fab = registry.scoped("fabric");
+    fab.counter("delivered")
+        .add(stats.delivered.saturating_sub(w.last_stats.delivered));
+    fab.counter("switch_drops")
+        .add(stats.switch_drops.saturating_sub(w.last_stats.switch_drops));
+    fab.counter("random_drops")
+        .add(stats.random_drops.saturating_sub(w.last_stats.random_drops));
+    fab.counter("partition_drops").add(
+        stats
+            .partition_drops
+            .saturating_sub(w.last_stats.partition_drops),
+    );
+    fab.counter("corrupted")
+        .add(stats.corrupted.saturating_sub(w.last_stats.corrupted));
+    w.last_stats = stats;
+
+    for h in 0..w.fabric.num_hosts() as HostId {
+        let drops = w.fabric.drop_reasons(h);
+        let last = w.last_drops.get(&h).copied().unwrap_or_default();
+        let scope = registry.scoped(&format!("fabric.host{h}.drops"));
+        scope
+            .counter("crc_bad")
+            .add(drops.crc_bad.saturating_sub(last.crc_bad));
+        scope
+            .counter("partition")
+            .add(drops.partition.saturating_sub(last.partition));
+        scope
+            .counter("corruption")
+            .add(drops.corruption.saturating_sub(last.corruption));
+        scope
+            .counter("no_buffer")
+            .add(drops.no_buffer.saturating_sub(last.no_buffer));
+        w.last_drops.insert(h, drops);
+    }
+
+    let window = w
+        .last_at
+        .map(|t| now.as_nanos().saturating_sub(t.as_nanos()))
+        .unwrap_or(0);
+    for ((from, to), link) in w.fabric.links() {
+        let last = w.last_links.get(&(from, to)).copied().unwrap_or_default();
+        let scope = registry.scoped(&format!("fabric.link.{from}->{to}"));
+        let d_bytes = link.bytes.saturating_sub(last.bytes);
+        scope.counter("bytes").add(d_bytes);
+        scope
+            .counter("delivered")
+            .add(link.delivered.saturating_sub(last.delivered));
+        scope
+            .counter("drops.partition")
+            .add(link.partition_drops.saturating_sub(last.partition_drops));
+        scope
+            .counter("drops.corruption")
+            .add(link.corrupted.saturating_sub(last.corrupted));
+        if window > 0 {
+            if let Some(gbps) = w.fabric.host_gbps(from) {
+                if gbps > 0.0 {
+                    // gbps == bits per nanosecond, so utilization over
+                    // the window is bits / (rate * window).
+                    let pct = (d_bytes as f64 * 8.0) / (gbps * window as f64) * 100.0;
+                    scope.gauge("util_pct").set(pct.round() as i64);
+                }
+            }
+        }
+        w.last_links.insert((from, to), link);
+    }
+    w.last_at = Some(now);
+}
+
+fn poll_supervisor(
+    registry: &Registry,
+    w: &mut SupervisorWatch,
+    engine_labels: &HashMap<EngineId, String>,
+) {
+    let log = w.sup.restart_log();
+    if w.ingested.len() < log.len() {
+        w.ingested.resize(log.len(), false);
+    }
+    for (i, rec) in log.iter().enumerate() {
+        let done = w.ingested.get(i).copied().unwrap_or(true);
+        if done {
+            continue;
+        }
+        // Only a completed restart has a blackout to report; a record
+        // still mid-restart stays pending for a later tick.
+        let Some(blackout) = rec.blackout() else {
+            continue;
+        };
+        let label = w
+            .labels
+            .get(&rec.id)
+            .or_else(|| engine_labels.get(&rec.id))
+            .cloned()
+            .unwrap_or_else(|| format!("engine{}", rec.id.0));
+        let scope = registry.scoped(&format!("engine.{label}"));
+        match rec.kind {
+            RestartKind::Crash => scope.counter("restarts.crash").inc(),
+            RestartKind::Wedge => scope.counter("restarts.wedge").inc(),
+        }
+        scope.histogram("blackout").record_nanos(blackout);
+        if let Some(slot) = w.ingested.get_mut(i) {
+            *slot = true;
+        }
+    }
+}
+
+fn poll_upgrade(registry: &Registry, w: &mut UpgradeWatch) {
+    if w.ingested {
+        return;
+    }
+    let slot = w.slot.borrow();
+    let Some(report) = slot.as_ref() else {
+        return;
+    };
+    let scope = registry.scoped("upgrade");
+    for eu in &report.engines {
+        scope.histogram("blackout").record_nanos(eu.blackout);
+        scope.histogram("brownout").record_nanos(eu.brownout);
+        scope.counter("engines").inc();
+        if eu.rolled_back {
+            scope.counter("rollbacks").inc();
+        }
+    }
+    drop(slot);
+    w.ingested = true;
+}
+
+impl Module for StatsModule {
+    fn name(&self) -> &str {
+        "stats"
+    }
+
+    fn handle(
+        &mut self,
+        method: &str,
+        _payload: &[u8],
+        cx: &mut ControlCx<'_>,
+    ) -> Result<Vec<u8>, ControlError> {
+        match method {
+            // Force a poll pass (e.g. right before reading stats).
+            "poll" => {
+                self.poll_once(cx.sim);
+                Ok(Vec::new())
+            }
+            "snapshot" => Ok(self.snapshot(cx.sim.now()).to_json().into_bytes()),
+            "table" => Ok(self.table(cx.sim.now()).into_bytes()),
+            other => Err(ControlError::UnknownMethod(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_reset_aware() {
+        assert_eq!(delta(10, 4), 6);
+        assert_eq!(delta(4, 4), 0);
+        // Counter went backwards: the engine restarted; its new value
+        // is the whole delta.
+        assert_eq!(delta(3, 100), 3);
+    }
+
+    #[test]
+    fn upgrade_report_is_folded_once() {
+        let registry = Registry::new();
+        let slot = Rc::new(RefCell::new(None));
+        let mut w = UpgradeWatch {
+            slot: slot.clone(),
+            ingested: false,
+        };
+        poll_upgrade(&registry, &mut w);
+        assert!(!w.ingested, "no report yet");
+        let mut report = UpgradeReport::default();
+        report.engines.push(snap_core::upgrade::EngineUpgrade {
+            engine: "svc".to_string(),
+            state_bytes: 128,
+            brownout: Nanos::from_micros(50),
+            blackout: Nanos::from_micros(200),
+            rolled_back: false,
+        });
+        *slot.borrow_mut() = Some(report);
+        poll_upgrade(&registry, &mut w);
+        poll_upgrade(&registry, &mut w);
+        let snap = registry.snapshot(Nanos(1));
+        assert_eq!(snap.counter("upgrade.engines"), Some(1), "folded exactly once");
+        assert_eq!(
+            snap.histogram("upgrade.blackout").map(|h| h.count()),
+            Some(1)
+        );
+        assert_eq!(snap.counter("upgrade.rollbacks"), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Tracing spans measured on simulated time.
+//!
+//! A [`Tracer`] hands out [`Span`]s stamped with the virtual clock
+//! ([`snap_sim::Nanos`]); closing a span records its duration into a
+//! `span.<scope>.<op>` histogram in the backing registry, and
+//! optionally appends a [`TraceEvent`] to a bounded ring buffer
+//! ([`TraceLog`]) for post-mortem inspection in fault tests. Because
+//! time is the simulator's, span durations are deterministic and free
+//! of wall-clock noise.
+//!
+//! The [`span!`](crate::span!) macro wraps enter/exit around an
+//! expression:
+//!
+//! ```ignore
+//! let tracer = Tracer::new(registry.scoped("span.engine0"));
+//! let out = span!(tracer, sim, "rx_batch", { engine.pump(sim) });
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use snap_sim::Nanos;
+
+use crate::registry::ScopedRegistry;
+
+/// One completed span in a [`TraceLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Operation name (the span's `op`).
+    pub op: String,
+    /// Virtual time the span was opened.
+    pub enter: Nanos,
+    /// Virtual time the span was closed.
+    pub exit: Nanos,
+}
+
+impl TraceEvent {
+    /// Span duration.
+    pub fn duration(&self) -> Nanos {
+        Nanos(self.exit.as_nanos().saturating_sub(self.enter.as_nanos()))
+    }
+}
+
+struct TraceLogInner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of completed spans: when full, the oldest
+/// event is evicted and counted in [`TraceLog::dropped`], so memory
+/// stays fixed no matter how long the run.
+#[derive(Clone)]
+pub struct TraceLog {
+    inner: Rc<RefCell<TraceLogInner>>,
+}
+
+impl TraceLog {
+    /// A log holding at most `capacity` events (capacity 0 keeps none
+    /// but still counts drops).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            inner: Rc::new(RefCell::new(TraceLogInner {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        while inner.events.len() >= inner.capacity {
+            if inner.events.pop_front().is_none() {
+                break;
+            }
+            inner.dropped += 1;
+        }
+        if inner.capacity > 0 {
+            inner.events.push_back(ev);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Number of events evicted (or rejected at capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().events.is_empty()
+    }
+}
+
+/// Hands out spans for one scope; durations land in the scope's
+/// per-op histograms. Cloning shares the scope and log.
+#[derive(Clone)]
+pub struct Tracer {
+    scope: ScopedRegistry,
+    log: Option<TraceLog>,
+}
+
+impl Tracer {
+    /// A tracer recording into `scope` (conventionally a
+    /// `span.<component>` scope of the machine registry).
+    pub fn new(scope: ScopedRegistry) -> Self {
+        Tracer { scope, log: None }
+    }
+
+    /// Also append every completed span to `log`.
+    pub fn with_log(mut self, log: TraceLog) -> Self {
+        self.log = Some(log);
+        self
+    }
+
+    /// Opens a span for `op` at virtual time `now`.
+    pub fn enter(&self, op: &str, now: Nanos) -> Span {
+        Span {
+            op: op.to_string(),
+            enter: now,
+        }
+    }
+
+    /// Closes `span` at virtual time `now`, recording its duration
+    /// into the `<scope>.<op>` histogram (and the log, if any).
+    pub fn exit(&self, span: Span, now: Nanos) {
+        let dur = now.as_nanos().saturating_sub(span.enter.as_nanos());
+        self.scope.histogram(&span.op).record(dur);
+        if let Some(log) = &self.log {
+            log.push(TraceEvent {
+                op: span.op,
+                enter: span.enter,
+                exit: now,
+            });
+        }
+    }
+}
+
+/// An open span; close it with [`Tracer::exit`].
+#[must_use = "a span records nothing until passed back to Tracer::exit"]
+pub struct Span {
+    op: String,
+    enter: Nanos,
+}
+
+impl Span {
+    /// The operation name this span was opened with.
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+
+    /// The virtual time this span was opened.
+    pub fn enter_time(&self) -> Nanos {
+        self.enter
+    }
+}
+
+/// Times an expression as a span: `span!(tracer, sim, "op", { expr })`
+/// opens before evaluating and closes after, returning the
+/// expression's value. `sim` is anything with a `now() -> Nanos`
+/// method (the simulator handle).
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $sim:expr, $op:expr, $body:expr) => {{
+        let __span = $tracer.enter($op, $sim.now());
+        let __out = $body;
+        $tracer.exit(__span, $sim.now());
+        __out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn spans_record_virtual_durations() {
+        let r = Registry::new();
+        let tracer = Tracer::new(r.scoped("span.engine0"));
+        let s = tracer.enter("rx_batch", Nanos(1_000));
+        tracer.exit(s, Nanos(4_500));
+        let s = tracer.enter("rx_batch", Nanos(10_000));
+        tracer.exit(s, Nanos(10_100));
+        let snap = r.snapshot(Nanos(20_000));
+        let h = snap.histogram("span.engine0.rx_batch").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.max() >= 3_000, "max {} should cover the 3.5us span", h.max());
+        assert!(h.min() <= 100, "min {} should cover the 100ns span", h.min());
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let log = TraceLog::new(3);
+        let r = Registry::new();
+        let tracer = Tracer::new(r.scoped("span.t")).with_log(log.clone());
+        for i in 0..5u64 {
+            let s = tracer.enter("op", Nanos(i * 10));
+            tracer.exit(s, Nanos(i * 10 + 1));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let evs = log.events();
+        assert_eq!(evs[0].enter, Nanos(20), "oldest surviving event");
+        assert_eq!(evs[2].exit, Nanos(41));
+        assert_eq!(evs[2].duration(), Nanos(1));
+        // Histogram still saw all five.
+        assert_eq!(
+            r.snapshot(Nanos(100)).histogram("span.t.op").map(|h| h.count()),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn span_macro_times_the_body() {
+        struct FakeClock(std::cell::Cell<u64>);
+        impl FakeClock {
+            fn now(&self) -> Nanos {
+                let t = self.0.get();
+                self.0.set(t + 250);
+                Nanos(t)
+            }
+        }
+        let r = Registry::new();
+        let tracer = Tracer::new(r.scoped("span.m"));
+        let clock = FakeClock(std::cell::Cell::new(0));
+        let v = crate::span!(tracer, clock, "work", { 40 + 2 });
+        assert_eq!(v, 42);
+        let snap = r.snapshot(Nanos(1));
+        let h = snap.histogram("span.m.work").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 200, "the two now() calls are 250ns apart");
+    }
+}

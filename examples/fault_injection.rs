@@ -14,6 +14,7 @@ use snap_repro::core::supervisor::SupervisorConfig;
 use snap_repro::pony::client::{PonyCommand, PonyCompletion};
 use snap_repro::sim::fault::{FaultEvent, FaultPlan};
 use snap_repro::sim::Nanos;
+use snap_repro::telemetry::StatsConfig;
 use snap_repro::testbed::Testbed;
 
 fn main() {
@@ -33,6 +34,13 @@ fn main() {
             ..SupervisorConfig::default()
         },
     );
+
+    // The stats module watches both engines and the fabric; the final
+    // accounting below is its table, not hand-rolled println!s.
+    let stats = tb.stats_module(StatsConfig::default());
+    let frontend_id = tb.hosts[0].module.engine_for("frontend").expect("engine");
+    stats.watch_supervisor(sup.clone(), &[(frontend_id, "h0.frontend".to_string())]);
+    stats.start(&mut tb.sim);
 
     // The fault script: corruption throughout, a crash at 30 ms, and a
     // 500 ms partition starting at 150 ms.
@@ -78,21 +86,18 @@ fn main() {
         recv(&mut srv, &mut got);
     }
 
-    let report = sup.report();
-    let drops = tb.fabric.drop_reasons(1);
+    stats.stop();
     println!(
         "delivered {}/30 messages, in order: {}",
         got.len(),
         got == (0..30).collect::<Vec<u64>>()
     );
-    println!(
-        "supervisor: {} checkpoints, {} crash restart(s)",
-        report.checkpoints, report.crash_restarts
-    );
-    println!(
-        "host 1 drop reasons: crc_bad={} partition={} corruption={}",
-        drops.crc_bad, drops.partition, drops.corruption
-    );
+    // The final dashboard: engine op counters, restart/blackout
+    // telemetry, and per-link drop attribution, from one snapshot.
+    println!("\n{}", stats.table(tb.sim.now()));
+    let snap = stats.snapshot(tb.sim.now());
     assert_eq!(got, (0..30).collect::<Vec<u64>>());
+    assert_eq!(snap.counter("engine.h0.frontend.restarts.crash"), Some(1));
+    assert!(snap.counter("fabric.host1.drops.corruption").unwrap_or(0) > 0);
     println!("recovered from crash + partition + corruption — exactly once, in order");
 }

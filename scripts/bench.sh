@@ -1,13 +1,47 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr2.json: the datapath-batching bench trajectory
-# (ping-pong + streaming, batched vs batch-of-1 ablation).
+# Regenerates the bench trajectory JSONs:
+#
+#   bench.sh            — run every bench (BENCH_pr2.json, BENCH_pr3.json)
+#   bench.sh pr2 [out]  — datapath batching only (default BENCH_pr2.json)
+#   bench.sh pr3 [out]  — telemetry overhead only (default BENCH_pr3.json)
+#
+# pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
+# pr3: the PR-2 streaming workload bare vs with a StatsModule polling
+#      both engines and the fabric every millisecond; instrumentation
+#      must stay within 3% on wall-clock and modeled throughput.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
-# into the bench; only the wall-clock columns vary with the machine.
+# into each bench; only the wall-clock columns vary with the machine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cargo build --release -p snap-bench --bin bench_datapath
-cargo run --release -q -p snap-bench --bin bench_datapath "${1:-BENCH_pr2.json}"
+mode="${1:-all}"
+
+run_pr2() {
+    cargo build --release -p snap-bench --bin bench_datapath
+    cargo run --release -q -p snap-bench --bin bench_datapath "${1:-BENCH_pr2.json}"
+}
+
+run_pr3() {
+    cargo build --release -p snap-bench --bin bench_telemetry
+    cargo run --release -q -p snap-bench --bin bench_telemetry "${1:-BENCH_pr3.json}"
+}
+
+case "$mode" in
+    all)
+        run_pr2
+        run_pr3
+        ;;
+    pr2)
+        run_pr2 "${2:-}"
+        ;;
+    pr3)
+        run_pr3 "${2:-}"
+        ;;
+    *)
+        # Backward compatibility: a bare path argument is the pr2 output.
+        run_pr2 "$mode"
+        ;;
+esac

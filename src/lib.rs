@@ -19,5 +19,6 @@ pub use snap_sched as sched;
 pub use snap_shm as shm;
 pub use snap_sim as sim;
 pub use snap_tcp as tcp;
+pub use snap_telemetry as telemetry;
 
 pub mod testbed;

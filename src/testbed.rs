@@ -23,6 +23,7 @@ use snap_shm::account::{CpuAccountant, MemoryAccountant};
 use snap_shm::region::RegionRegistry;
 use snap_sim::fault::{FaultEvent, FaultPlan};
 use snap_sim::{Nanos, Sim};
+use snap_telemetry::{StatsConfig, StatsModule};
 use snap_tcp::stack::{TcpConfig, TcpHost};
 
 /// Testbed construction parameters.
@@ -239,6 +240,8 @@ impl Testbed {
             }
             FaultEvent::Partition { a, b } => fabric.partition(a, b),
             FaultEvent::Heal { a, b } => fabric.heal(a, b),
+            FaultEvent::PartitionOneWay { from, to } => fabric.partition_oneway(from, to),
+            FaultEvent::HealOneWay { from, to } => fabric.heal_oneway(from, to),
             FaultEvent::CorruptRate { prob } => fabric.set_corrupt_prob(prob),
         });
     }
@@ -275,6 +278,29 @@ impl Testbed {
     pub fn host_cpu(&mut self, host: usize) -> snap_core::group::GroupCpu {
         let now = self.sim.now();
         self.hosts[host].group.cpu(now)
+    }
+
+    /// A [`StatsModule`] watching the whole rack: the fabric plus every
+    /// Pony engine registered so far (labeled `h<host>.<app>`). Call
+    /// after creating apps; the poll loop is *not* started — call
+    /// [`StatsModule::start`] (periodic) or
+    /// [`StatsModule::poll_once`] as the experiment needs.
+    pub fn stats_module(&mut self, cfg: StatsConfig) -> StatsModule {
+        let stats = StatsModule::new(cfg);
+        stats.watch_fabric(self.fabric.clone());
+        for (h, host) in self.hosts.iter().enumerate() {
+            let mut seen: Vec<EngineId> = Vec::new();
+            for (app, engine_id) in host.module.apps() {
+                // A shared engine serves several apps; watch it once,
+                // under the first app's label.
+                if seen.contains(&engine_id) {
+                    continue;
+                }
+                seen.push(engine_id);
+                stats.watch_engine(&format!("h{h}.{app}"), host.group.clone(), engine_id);
+            }
+        }
+        stats
     }
 }
 

@@ -363,3 +363,96 @@ proptest! {
         );
     }
 }
+
+/// Shared-engine supervision (§3.1's pre-loaded shared engines): when a
+/// *shared* engine crashes, the restart must restore exactly the
+/// sessions that engine owned — both via its own checkpoint and via the
+/// module's control-plane ownership record on the corrupt-checkpoint
+/// fallback path — and must never steal sessions belonging to other
+/// engines on the host.
+#[test]
+fn shared_engine_restart_restores_only_its_own_sessions() {
+    let mut tb = Testbed::pair();
+    // A shared pool with two attached apps, plus an unrelated dedicated
+    // engine on the same host.
+    let pool_id = tb.hosts[0].module.create_shared_engine("pool", |_| {});
+    tb.hosts[0]
+        .module
+        .attach_app_to_shared("x", "pool")
+        .expect("pool exists");
+    tb.hosts[0]
+        .module
+        .attach_app_to_shared("y", "pool")
+        .expect("pool exists");
+    let mut x = tb.hosts[0].module.open_session("x", 256).expect("session");
+    let _y = tb.hosts[0].module.open_session("y", 256).expect("session");
+    let _solo = tb.pony_app(0, "solo", |_| {});
+    let solo_id = tb.hosts[0].module.engine_for("solo").expect("engine");
+    assert_ne!(pool_id, solo_id);
+    let mut server = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "x", 1, "server");
+
+    let mut pool_sessions = tb.hosts[0].module.sessions_for("pool");
+    pool_sessions.sort_unstable();
+    assert_eq!(pool_sessions.len(), 2, "both attached apps own sessions");
+    let solo_sessions = tb.hosts[0].module.sessions_for("solo");
+    assert_eq!(solo_sessions.len(), 1);
+
+    let sup = tb.supervise_app(
+        0,
+        "pool",
+        SupervisorConfig {
+            checkpoint_interval: Nanos::from_millis(1),
+            ..SupervisorConfig::default()
+        },
+    );
+    tb.run_ms(5);
+    tb.hosts[0].group.kill_engine(pool_id);
+    tb.run_ms(60);
+    assert_eq!(sup.report().crash_restarts, 1, "shared engine restarted");
+
+    // Healthy-checkpoint path: the restored engine owns exactly the
+    // pool's sessions.
+    let mut owned = tb.hosts[0].group.with_engine(pool_id, |e| {
+        e.as_any()
+            .downcast_mut::<PonyEngine>()
+            .map(|p| p.owned_sessions().to_vec())
+            .unwrap_or_default()
+    });
+    owned.sort_unstable();
+    assert_eq!(owned, pool_sessions, "restored exactly the pool's sessions");
+    assert!(
+        !owned.contains(&solo_sessions[0]),
+        "the dedicated engine's session was not stolen"
+    );
+
+    // The pool still carries traffic after the restart.
+    x.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 512 });
+    tb.run_ms(30);
+    assert!(
+        server
+            .take_completions()
+            .iter()
+            .any(|c| matches!(c, PonyCompletion::RecvMsg { .. })),
+        "shared engine delivers after restart"
+    );
+
+    // Corrupt-checkpoint fallback path: a fresh engine is rebuilt from
+    // the module's ownership record — again, only the pool's sessions.
+    let factory = tb.hosts[0]
+        .module
+        .restart_factory("pool")
+        .expect("pool registered");
+    let mut rebuilt = factory(vec![0xFF; 16], &mut tb.sim);
+    let mut fallback_owned = rebuilt
+        .as_any()
+        .downcast_mut::<PonyEngine>()
+        .expect("pony engine")
+        .owned_sessions()
+        .to_vec();
+    fallback_owned.sort_unstable();
+    assert_eq!(
+        fallback_owned, pool_sessions,
+        "fallback restores only the crashed engine's host sessions"
+    );
+}
