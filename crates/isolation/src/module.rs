@@ -1,0 +1,332 @@
+//! The quota control-plane module (§2.3 module model).
+//!
+//! `QuotaModule` exposes the [`AdmissionController`] over the Snap
+//! module RPC surface: applications (in practice, an operator session)
+//! set and query per-container quotas at runtime and read the pressure
+//! table — who was squeezed, what got denied, what got shed.
+//!
+//! CPU shares and squeeze fractions cross the wire as parts-per-
+//! million (`u64`) so payloads stay integer-deterministic.
+
+// Control-plane code must degrade into typed errors, never panic: a
+// malformed RPC is an expected event here.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use snap_core::module::{ControlCx, ControlError, Module};
+use snap_sim::codec::{Reader, Writer};
+
+use crate::{AdmissionController, PressureState, QuotaPolicy};
+
+/// Converts a parts-per-million wire value to a fraction.
+fn from_ppm(ppm: u64) -> f64 {
+    ppm as f64 / 1_000_000.0
+}
+
+/// Converts a fraction to parts-per-million, saturating at 100%.
+fn to_ppm(f: f64) -> u64 {
+    (f.clamp(0.0, 1.0) * 1_000_000.0) as u64
+}
+
+/// Renders a byte limit, with `-` for unlimited.
+fn fmt_limit(v: u64) -> String {
+    if v == u64::MAX {
+        "-".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Control-plane module for runtime quota management.
+pub struct QuotaModule {
+    admission: AdmissionController,
+}
+
+impl QuotaModule {
+    /// Wraps a (shared) admission controller.
+    pub fn new(admission: AdmissionController) -> Self {
+        QuotaModule { admission }
+    }
+
+    /// The underlying controller (shared with the rest of the host).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Renders the pressure table: one row per known container with
+    /// usage, effective limits, squeeze, pressure, denials, and sheds.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>12} {:>8} {:>9} {:>8} {:>6}\n",
+            "container", "usage", "soft", "hard", "squeeze", "pressure", "denials", "sheds"
+        ));
+        for s in self.admission.snapshot() {
+            out.push_str(&format!(
+                "{:<14} {:>12} {:>12} {:>12} {:>7.0}% {:>9} {:>8} {:>6}\n",
+                s.container,
+                s.usage_bytes,
+                fmt_limit(s.effective_soft),
+                fmt_limit(s.effective_hard),
+                s.squeeze * 100.0,
+                s.pressure.label(),
+                s.denials,
+                s.sheds,
+            ));
+        }
+        out
+    }
+
+    /// Renders the pressure-transition log, oldest first.
+    pub fn transition_log(&self) -> String {
+        let mut out = String::new();
+        for t in self.admission.transitions() {
+            out.push_str(&format!(
+                "#{:<5} {:<14} {} -> {}\n",
+                t.seq,
+                t.container,
+                t.from.label(),
+                t.to.label()
+            ));
+        }
+        out
+    }
+
+    fn handle_set_quota(&mut self, payload: &[u8]) -> Result<Vec<u8>, ControlError> {
+        let mut r = Reader::new(payload);
+        let container = r
+            .string()
+            .map_err(|e| ControlError::Invalid(format!("set_quota: {e:?}")))?;
+        let soft = r
+            .u64()
+            .map_err(|e| ControlError::Invalid(format!("set_quota: {e:?}")))?;
+        let hard = r
+            .u64()
+            .map_err(|e| ControlError::Invalid(format!("set_quota: {e:?}")))?;
+        let cpu_share_ppm = r
+            .u64()
+            .map_err(|e| ControlError::Invalid(format!("set_quota: {e:?}")))?;
+        if soft > hard {
+            return Err(ControlError::Invalid(format!(
+                "set_quota: soft limit {soft} exceeds hard limit {hard}"
+            )));
+        }
+        if cpu_share_ppm > 1_000_000 {
+            return Err(ControlError::Invalid(format!(
+                "set_quota: cpu share {cpu_share_ppm} ppm exceeds 100%"
+            )));
+        }
+        self.admission.set_policy(
+            &container,
+            QuotaPolicy {
+                mem_soft_bytes: soft,
+                mem_hard_bytes: hard,
+                cpu_share: from_ppm(cpu_share_ppm),
+            },
+        );
+        let mut w = Writer::new();
+        w.u8(PressureState::as_u8(self.admission.pressure(&container)));
+        Ok(w.finish())
+    }
+
+    fn handle_get_quota(&mut self, payload: &[u8]) -> Result<Vec<u8>, ControlError> {
+        let mut r = Reader::new(payload);
+        let container = r
+            .string()
+            .map_err(|e| ControlError::Invalid(format!("get_quota: {e:?}")))?;
+        let policy = self.admission.policy(&container);
+        let pressure = self.admission.pressure(&container);
+        let snap = self
+            .admission
+            .snapshot()
+            .into_iter()
+            .find(|s| s.container == container);
+        let mut w = Writer::new();
+        w.u64(policy.mem_soft_bytes);
+        w.u64(policy.mem_hard_bytes);
+        w.u64(to_ppm(policy.cpu_share));
+        w.u64(self.admission.usage(&container));
+        w.u8(pressure.as_u8());
+        w.u64(to_ppm(snap.as_ref().map(|s| s.squeeze).unwrap_or(0.0)));
+        w.u64(snap.as_ref().map(|s| s.denials).unwrap_or(0));
+        w.u64(snap.as_ref().map(|s| s.sheds).unwrap_or(0));
+        Ok(w.finish())
+    }
+
+    fn handle_transitions(&mut self, payload: &[u8]) -> Result<Vec<u8>, ControlError> {
+        let mut r = Reader::new(payload);
+        let since = r
+            .u64()
+            .map_err(|e| ControlError::Invalid(format!("transitions: {e:?}")))?;
+        let (transitions, next) = self.admission.transitions_since(since);
+        let mut w = Writer::new();
+        w.u64(next);
+        w.u32(transitions.len() as u32);
+        for t in transitions {
+            w.u64(t.seq);
+            w.string(&t.container);
+            w.u8(t.from.as_u8());
+            w.u8(t.to.as_u8());
+        }
+        Ok(w.finish())
+    }
+}
+
+impl Module for QuotaModule {
+    fn name(&self) -> &str {
+        "quota"
+    }
+
+    fn handle(
+        &mut self,
+        method: &str,
+        payload: &[u8],
+        _cx: &mut ControlCx<'_>,
+    ) -> Result<Vec<u8>, ControlError> {
+        match method {
+            "set_quota" => self.handle_set_quota(payload),
+            "get_quota" => self.handle_get_quota(payload),
+            "table" => Ok(self.table().into_bytes()),
+            "transitions" => self.handle_transitions(payload),
+            other => Err(ControlError::UnknownMethod(other.to_string())),
+        }
+    }
+}
+
+/// Decoded `get_quota` reply, for clients of the RPC surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuotaReply {
+    /// Configured soft limit in bytes.
+    pub mem_soft_bytes: u64,
+    /// Configured hard limit in bytes.
+    pub mem_hard_bytes: u64,
+    /// CPU share in parts per million.
+    pub cpu_share_ppm: u64,
+    /// Current usage in bytes.
+    pub usage_bytes: u64,
+    /// Current pressure.
+    pub pressure: PressureState,
+    /// Active squeeze in parts per million.
+    pub squeeze_ppm: u64,
+    /// Denials so far.
+    pub denials: u64,
+    /// Sheds so far.
+    pub sheds: u64,
+}
+
+impl QuotaReply {
+    /// Decodes a `get_quota` reply payload.
+    pub fn decode(payload: &[u8]) -> Option<QuotaReply> {
+        let mut r = Reader::new(payload);
+        Some(QuotaReply {
+            mem_soft_bytes: r.u64().ok()?,
+            mem_hard_bytes: r.u64().ok()?,
+            cpu_share_ppm: r.u64().ok()?,
+            usage_bytes: r.u64().ok()?,
+            pressure: PressureState::from_u8(r.u8().ok()?)?,
+            squeeze_ppm: r.u64().ok()?,
+            denials: r.u64().ok()?,
+            sheds: r.u64().ok()?,
+        })
+    }
+}
+
+/// Encodes a `set_quota` request payload.
+pub fn encode_set_quota(container: &str, soft: u64, hard: u64, cpu_share_ppm: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string(container);
+    w.u64(soft);
+    w.u64(hard);
+    w.u64(cpu_share_ppm);
+    w.finish()
+}
+
+/// Encodes a `get_quota` request payload.
+pub fn encode_get_quota(container: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string(container);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_shm::account::{CpuAccountant, MemoryAccountant};
+
+    fn module() -> QuotaModule {
+        QuotaModule::new(AdmissionController::new(
+            MemoryAccountant::new(),
+            CpuAccountant::new(),
+        ))
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut m = module();
+        let reply = m
+            .handle_set_quota(&encode_set_quota("job", 100, 200, 500_000))
+            .unwrap();
+        assert_eq!(reply, vec![PressureState::Ok.as_u8()]);
+        m.admission().charge("job", 150);
+        let got = QuotaReply::decode(&m.handle_get_quota(&encode_get_quota("job")).unwrap())
+            .unwrap();
+        assert_eq!(got.mem_soft_bytes, 100);
+        assert_eq!(got.mem_hard_bytes, 200);
+        assert_eq!(got.cpu_share_ppm, 500_000);
+        assert_eq!(got.usage_bytes, 150);
+        assert_eq!(got.pressure, PressureState::Soft);
+    }
+
+    #[test]
+    fn invalid_payloads_are_typed_errors() {
+        let mut m = module();
+        assert!(matches!(
+            m.handle_set_quota(b"garbage"),
+            Err(ControlError::Invalid(_))
+        ));
+        assert!(matches!(
+            m.handle_set_quota(&encode_set_quota("j", 200, 100, 0)),
+            Err(ControlError::Invalid(_))
+        ));
+        assert!(matches!(
+            m.handle_set_quota(&encode_set_quota("j", 1, 2, 2_000_000)),
+            Err(ControlError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn table_lists_squeezed_containers() {
+        let m = module();
+        m.admission().set_policy("web", QuotaPolicy::with_mem(1_000, 2_000));
+        m.admission().charge("web", 1_500);
+        m.admission().apply_pressure("web", 0.5);
+        let table = m.table();
+        assert!(table.contains("web"), "table: {table}");
+        assert!(table.contains("hard"), "header present");
+        assert!(table.contains("50%"), "squeeze rendered: {table}");
+        let log = m.transition_log();
+        assert!(log.contains("ok -> soft"), "log: {log}");
+    }
+
+    #[test]
+    fn transitions_rpc_paginates() {
+        let mut m = module();
+        m.admission().set_policy("a", QuotaPolicy::with_mem(10, 20));
+        m.admission().charge("a", 15); // Ok -> Soft
+        m.admission().charge("a", 10); // Soft -> Hard
+        let mut w = Writer::new();
+        w.u64(0);
+        let reply = m.handle_transitions(&w.finish()).unwrap();
+        let mut r = Reader::new(&reply);
+        let next = r.u64().unwrap();
+        let count = r.u32().unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(next, 2);
+        // Poll again from `next`: empty.
+        let mut w = Writer::new();
+        w.u64(next);
+        let reply = m.handle_transitions(&w.finish()).unwrap();
+        let mut r = Reader::new(&reply);
+        assert_eq!(r.u64().unwrap(), 2);
+        assert_eq!(r.u32().unwrap(), 0);
+    }
+}

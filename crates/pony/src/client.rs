@@ -13,6 +13,7 @@
 
 use std::rc::Rc;
 
+use snap_nic::packet::QosClass;
 use snap_shm::queue_pair::AppEndpoint;
 use snap_sim::{Nanos, Sim};
 
@@ -92,6 +93,15 @@ pub enum OpStatus {
     RemoteAccessError,
     /// Flow-control or protocol failure.
     Error,
+    /// The container is under Hard memory pressure: the op was refused
+    /// *before* entering the transport, so nothing was sent and the
+    /// exactly-once contract is untouched. Back-pressure — retry after
+    /// draining completions or freeing quota.
+    Busy,
+    /// A best-effort op shed under Soft/Hard pressure (§2.5 isolation:
+    /// best-effort work goes first). Never applied to transport-class
+    /// submissions.
+    Shed,
 }
 
 /// A completion written by the engine into the completion queue.
@@ -123,7 +133,7 @@ pub enum PonyCompletion {
 
 /// The application-side handle: submit commands, reap completions.
 pub struct PonyClient {
-    endpoint: AppEndpoint<(u64, PonyCommand), PonyCompletion>,
+    endpoint: AppEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>,
     /// Wakes the engine after a submit (doorbell / eventfd path).
     wake_engine: Rc<dyn Fn(&mut Sim)>,
     next_op: u64,
@@ -134,7 +144,7 @@ impl PonyClient {
     /// Builds a client from the bootstrap products: the app endpoint of
     /// the queue pair and the engine wake callback.
     pub fn new(
-        endpoint: AppEndpoint<(u64, PonyCommand), PonyCompletion>,
+        endpoint: AppEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>,
         wake_engine: Rc<dyn Fn(&mut Sim)>,
     ) -> Self {
         PonyClient {
@@ -145,18 +155,36 @@ impl PonyClient {
         }
     }
 
-    /// Submits a command; returns the operation id its completion will
-    /// carry.
+    /// Submits a transport-class command; returns the operation id its
+    /// completion will carry. Transport-class work is never shed: under
+    /// Hard pressure it completes with [`OpStatus::Busy`] instead.
     ///
     /// # Panics
     ///
     /// Panics if the command queue is full (callers bound their
     /// outstanding ops in all reproduced workloads).
     pub fn submit(&mut self, sim: &mut Sim, cmd: PonyCommand) -> u64 {
+        self.submit_with_class(sim, cmd, QosClass::Transport)
+    }
+
+    /// Submits a command with an explicit QoS class. Best-effort
+    /// submissions are shed first (completing with [`OpStatus::Shed`])
+    /// when the container comes under memory pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command queue is full (callers bound their
+    /// outstanding ops in all reproduced workloads).
+    pub fn submit_with_class(
+        &mut self,
+        sim: &mut Sim,
+        cmd: PonyCommand,
+        class: QosClass,
+    ) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
         self.endpoint
-            .submit((op, cmd))
+            .submit((op, class, cmd))
             .unwrap_or_else(|_| panic!("command queue full (op {op})"));
         (self.wake_engine)(sim);
         op

@@ -28,6 +28,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use snap_core::engine::{Engine, RunReport};
+use snap_isolation::{AdmissionController, PressureState};
 use snap_nic::fabric::FabricHandle;
 use snap_nic::packet::{HostId, Packet, QosClass};
 use snap_shm::queue_pair::EngineEndpoint;
@@ -53,7 +54,7 @@ pub const INITIAL_CREDITS: u32 = 64;
 /// hand the same sessions to the successor engine — the analogue of
 /// transferring fds over the control channel during brownout.
 pub type SessionTable =
-    Rc<RefCell<HashMap<u64, EngineEndpoint<(u64, PonyCommand), PonyCompletion>>>>;
+    Rc<RefCell<HashMap<u64, EngineEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>>>>;
 
 /// Callback that re-schedules an engine pass — used by self-arming
 /// pacing/RTO timers.
@@ -116,6 +117,11 @@ pub struct PonyStats {
     pub ops_completed: u64,
     /// Completions dropped because a session queue was full or gone.
     pub completions_dropped: u64,
+    /// Best-effort ops shed under Soft/Hard memory pressure (§2.5).
+    pub ops_shed: u64,
+    /// Transport-class ops refused with `Busy` under Hard pressure or a
+    /// denied per-send quota charge (back-pressure, never silent drop).
+    pub busy_rejected: u64,
 }
 
 struct ConnState {
@@ -205,8 +211,15 @@ pub struct PonyEngine {
     /// module after registration.
     wake: Option<WakeFn>,
     timer: Option<(Nanos, snap_sim::EventHandle)>,
+    /// Admission controller enforcing this container's memory quota on
+    /// the datapath; `None` keeps the quota-free fast path.
+    admission: Option<AdmissionController>,
+    /// Bytes currently charged to the admission controller for
+    /// in-flight sends (held + chunking + unacked). Released as sends
+    /// complete, and wholesale on drop (crash/kill path).
+    charged_bytes: u64,
     rx_buf: Vec<Packet>,
-    cmd_buf: Vec<(u64, PonyCommand)>,
+    cmd_buf: Vec<(u64, QosClass, PonyCommand)>,
     /// Reusable wire-encode scratch: frames encode into this buffer
     /// (capacity persists across packets) and CRC32C is computed over
     /// it before the payload is materialized, so the tx path does no
@@ -247,6 +260,8 @@ impl PonyEngine {
             stats: PonyStats::default(),
             wake: None,
             timer: None,
+            admission: None,
+            charged_bytes: 0,
             rx_buf: Vec::new(),
             cmd_buf: Vec::new(),
             tx_scratch: Writer::new(),
@@ -258,6 +273,40 @@ impl PonyEngine {
     /// Installs the wake callback used for pacing/RTO timers.
     pub fn set_wake(&mut self, wake: WakeFn) {
         self.wake = Some(wake);
+    }
+
+    /// Installs the admission controller that gates this engine's
+    /// datapath (per-send quota charges and pressure-based shedding).
+    ///
+    /// Safe to call on a freshly restored engine: sends already in
+    /// flight (held or mid-transfer) are force-charged so usage
+    /// accounting stays truthful even if the charge lands over quota —
+    /// restored state is never dropped, new admissions pay it back.
+    pub fn set_admission(&mut self, admission: AdmissionController) {
+        if let Some(old) = self.admission.take() {
+            old.release(&self.cfg.container, self.charged_bytes);
+        }
+        let outstanding: u64 = self
+            .send_msgs
+            .values()
+            .map(|s| s.total)
+            .chain(
+                self.conns
+                    .values()
+                    .flat_map(|c| c.held.iter().map(|&(_, _, len)| len)),
+            )
+            .sum();
+        admission.ensure_container(&self.cfg.container);
+        if outstanding > 0 {
+            admission.charge(&self.cfg.container, outstanding);
+        }
+        self.charged_bytes = outstanding;
+        self.admission = Some(admission);
+    }
+
+    /// The admission controller gating this engine, if any.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// Claims a session: this engine will poll its command queue.
@@ -397,10 +446,11 @@ impl PonyEngine {
         }
     }
 
-    /// Admits a Send command, applying flow control (§3.3): small
-    /// messages consume shared credits, large ones posted buffers.
+    /// Admits a Send command, applying the memory quota (§2.5) and then
+    /// flow control (§3.3): small messages consume shared credits,
+    /// large ones posted buffers.
     fn admit_send(&mut self, now: Nanos, op: u64, session: Option<u64>, conn_id: u64, stream: u32, len: u64) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        if !self.conns.contains_key(&conn_id) {
             self.complete(
                 session,
                 PonyCompletion::OpDone {
@@ -411,7 +461,29 @@ impl PonyEngine {
                 },
             );
             return;
-        };
+        }
+        // Quota charge precedes flow-control admission so a held send
+        // is accounted from the moment the engine buffers it. The
+        // charge is released when the send fully completes (or on
+        // engine drop). Refusal is back-pressure, not loss: nothing
+        // was sent, the app retries.
+        if let Some(adm) = &self.admission {
+            if adm.try_charge(&self.cfg.container, len).is_err() {
+                self.stats.busy_rejected += 1;
+                self.complete(
+                    session,
+                    PonyCompletion::OpDone {
+                        op,
+                        status: OpStatus::Busy,
+                        data: vec![],
+                        issued_at: now,
+                    },
+                );
+                return;
+            }
+            self.charged_bytes += len;
+        }
+        let conn = self.conns.get_mut(&conn_id).expect("checked above");
         let admitted = if len <= SMALL_MSG_BYTES {
             if conn.small_credits > 0 {
                 conn.small_credits -= 1;
@@ -559,9 +631,56 @@ impl PonyEngine {
     }
 
     /// Handles an application command; returns the CPU charged.
-    fn handle_command(&mut self, now: Nanos, op: u64, cmd: PonyCommand, session: u64) -> Nanos {
+    fn handle_command(
+        &mut self,
+        now: Nanos,
+        op: u64,
+        class: QosClass,
+        cmd: PonyCommand,
+        session: u64,
+    ) -> Nanos {
         self.stats.commands += 1;
         let session = Some(session);
+        // Pressure gate (§2.5): under Soft pressure best-effort work is
+        // shed; under Hard pressure transport-class work is refused
+        // with Busy (back-pressure — the op never entered the
+        // transport, so exactly-once is untouched). PostRecvBuffers is
+        // exempt: posting receive buffers *relieves* pressure by
+        // letting the peer drain, and refusing it could deadlock both
+        // sides of a connection.
+        if !matches!(cmd, PonyCommand::PostRecvBuffers { .. }) {
+            let pressure = self
+                .admission
+                .as_ref()
+                .map(|adm| adm.pressure(&self.cfg.container))
+                .unwrap_or(PressureState::Ok);
+            let refusal = match (pressure, class) {
+                (PressureState::Ok, _) => None,
+                (_, QosClass::BestEffort) => Some(OpStatus::Shed),
+                (PressureState::Hard, QosClass::Transport) => Some(OpStatus::Busy),
+                (PressureState::Soft, QosClass::Transport) => None,
+            };
+            if let Some(status) = refusal {
+                if status == OpStatus::Shed {
+                    self.stats.ops_shed += 1;
+                    if let Some(adm) = &self.admission {
+                        adm.record_shed(&self.cfg.container);
+                    }
+                } else {
+                    self.stats.busy_rejected += 1;
+                }
+                self.complete(
+                    session,
+                    PonyCompletion::OpDone {
+                        op,
+                        status,
+                        data: vec![],
+                        issued_at: now,
+                    },
+                );
+                return Nanos(costs::PONY_PER_OP_NS);
+            }
+        }
         match cmd {
             PonyCommand::Send { conn, stream, len } => {
                 self.admit_send(now, op, session, conn, stream, len);
@@ -933,6 +1052,12 @@ impl PonyEngine {
                     .remove(&(conn, stream, msg))
                     .expect("just looked up");
                 self.stats.ops_completed += 1;
+                // The send's quota charge is returned now that every
+                // chunk is acknowledged and its memory is reclaimable.
+                if let Some(adm) = &self.admission {
+                    adm.release(&self.cfg.container, send.total);
+                    self.charged_bytes = self.charged_bytes.saturating_sub(send.total);
+                }
                 if send.total <= SMALL_MSG_BYTES {
                     if let Some(c) = self.conns.get_mut(&conn) {
                         c.small_credits += 1;
@@ -1055,6 +1180,18 @@ impl PonyEngine {
     }
 }
 
+impl Drop for PonyEngine {
+    /// Crash/kill path: the supervisor drops the engine box, and every
+    /// byte this engine had charged is returned to its container so a
+    /// crashed engine cannot leak quota (the restarted engine
+    /// re-charges its restored in-flight state via `set_admission`).
+    fn drop(&mut self) {
+        if let Some(adm) = &self.admission {
+            adm.release(&self.cfg.container, self.charged_bytes);
+        }
+    }
+}
+
 impl Engine for PonyEngine {
     fn name(&self) -> &str {
         &self.cfg.name
@@ -1124,9 +1261,9 @@ impl Engine for PonyEngine {
                     ep.poll_commands(&mut cmds, self.cfg.poll_batch);
                 }
             }
-            for (op, cmd) in cmds.drain(..) {
+            for (op, class, cmd) in cmds.drain(..) {
                 work = true;
-                cpu += self.handle_command(now, op, cmd, sid);
+                cpu += self.handle_command(now, op, class, cmd, sid);
             }
             self.cmd_buf = cmds;
         }

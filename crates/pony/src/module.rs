@@ -26,6 +26,7 @@ use snap_core::group::GroupHandle;
 use snap_core::module::{ControlCx, ControlError, Module};
 use snap_core::supervisor::RestartFactory;
 use snap_core::upgrade::{FallibleEngineFactory, UpgradeError};
+use snap_isolation::AdmissionController;
 use snap_nic::fabric::FabricHandle;
 use snap_nic::packet::HostId;
 use snap_shm::queue_pair::QueuePair;
@@ -132,6 +133,10 @@ pub struct PonyModule {
     sessions_by_engine: Rc<RefCell<HashMap<EngineId, Vec<u64>>>>,
     engines: HashMap<String, EngineId>,
     queue_owner: Rc<RefCell<HashMap<u16, EngineId>>>,
+    /// Host-wide admission controller (§2.5). When set, every engine
+    /// this module creates — including restart/upgrade successors — is
+    /// gated by it.
+    admission: Option<AdmissionController>,
     next_session: u64,
     next_key: u64,
     next_queue: u16,
@@ -170,6 +175,7 @@ impl PonyModule {
             sessions_by_engine: Rc::new(RefCell::new(HashMap::new())),
             engines: HashMap::new(),
             queue_owner,
+            admission: None,
             next_session: 1,
             next_key: (host as u64) << 16 | 1,
             next_queue: 0,
@@ -184,6 +190,23 @@ impl PonyModule {
     /// The session table shared with this host's engines.
     pub fn sessions(&self) -> SessionTable {
         self.sessions.clone()
+    }
+
+    /// Installs the host-wide admission controller. Engines created
+    /// afterwards (and their restart/upgrade successors) enforce its
+    /// quotas on the datapath; engines already running are also gated
+    /// retroactively.
+    pub fn set_admission(&mut self, admission: AdmissionController) {
+        for &id in self.engines.values() {
+            let adm = admission.clone();
+            let _ = with_pony_engine(&self.group, id, move |e| e.set_admission(adm));
+        }
+        self.admission = Some(admission);
+    }
+
+    /// The host-wide admission controller, if one was installed.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// Creates an application-exclusive engine (§3.1: "applications
@@ -209,7 +232,13 @@ impl PonyModule {
         // Give the engine its wake handle for pacing/RTO timers. The
         // engine was just added, so this cannot miss.
         let wake = self.group.wake_handle(id);
-        let _ = with_pony_engine(&self.group, id, |e| e.set_wake(wake.clone()));
+        let admission = self.admission.clone();
+        let _ = with_pony_engine(&self.group, id, |e| {
+            e.set_wake(wake.clone());
+            if let Some(adm) = admission {
+                e.set_admission(adm);
+            }
+        });
         self.queue_owner.borrow_mut().insert(queue, id);
         self.engines.insert(app.to_string(), id);
         self.net.borrow_mut().entries.insert(
@@ -367,12 +396,16 @@ impl PonyModule {
         let regions = self.regions.clone();
         let sessions = self.sessions.clone();
         let group = self.group.clone();
+        let admission = self.admission.clone();
         Ok(Box::new(move |state, sim| {
             let now = sim.now();
             let mut engine =
                 PonyEngine::restore(&state, cfg, fabric, regions, sessions, now)
                     .map_err(|e| UpgradeError::BadState(e.to_string()))?;
             engine.set_wake(group.wake_handle(engine_id));
+            if let Some(adm) = admission {
+                engine.set_admission(adm);
+            }
             Ok(Box::new(engine))
         }))
     }
@@ -393,6 +426,7 @@ impl PonyModule {
         let sessions = self.sessions.clone();
         let owned = self.sessions_by_engine.clone();
         let group = self.group.clone();
+        let admission = self.admission.clone();
         Ok(Rc::new(move |state: Vec<u8>, sim: &mut Sim| {
             let now = sim.now();
             let mut engine = match PonyEngine::restore(
@@ -420,6 +454,9 @@ impl PonyModule {
                 }
             };
             engine.set_wake(group.wake_handle(engine_id));
+            if let Some(adm) = admission.clone() {
+                engine.set_admission(adm);
+            }
             Box::new(engine)
         }))
     }

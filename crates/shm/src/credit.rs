@@ -9,12 +9,40 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::account::{ChargeError, MemoryGate};
+
+/// The memory charge backing a gated credit pool; released once, when
+/// the last clone of the pool drops.
+struct CreditCharge {
+    gate: Arc<dyn MemoryGate + Send + Sync>,
+    container: String,
+    bytes: u64,
+}
+
+impl Drop for CreditCharge {
+    fn drop(&mut self) {
+        self.gate.release(&self.container, self.bytes);
+    }
+}
+
 /// A shared pool of flow-control credits (1 credit = 1 small-message
 /// buffer at the receiver).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CreditPool {
     available: Arc<AtomicU64>,
     capacity: u64,
+    /// Present only for pools created through [`CreditPool::try_new`].
+    charge: Option<Arc<CreditCharge>>,
+}
+
+impl std::fmt::Debug for CreditPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CreditPool")
+            .field("available", &self.available())
+            .field("capacity", &self.capacity)
+            .field("gated", &self.charge.is_some())
+            .finish()
+    }
 }
 
 /// RAII grant of credits; returns them to the pool on drop.
@@ -30,7 +58,32 @@ impl CreditPool {
         CreditPool {
             available: Arc::new(AtomicU64::new(capacity)),
             capacity,
+            charge: None,
         }
+    }
+
+    /// Creates a pool of `capacity` credits, each backed by
+    /// `bytes_per_credit` bytes of receiver buffer memory charged
+    /// through `gate` under `container`. Fails without allocating if
+    /// the container is over quota; the charge is released when the
+    /// last clone of the pool drops.
+    pub fn try_new(
+        capacity: u64,
+        bytes_per_credit: u64,
+        gate: Arc<dyn MemoryGate + Send + Sync>,
+        container: &str,
+    ) -> Result<Self, ChargeError> {
+        let bytes = capacity.saturating_mul(bytes_per_credit);
+        gate.try_charge(container, bytes)?;
+        Ok(CreditPool {
+            available: Arc::new(AtomicU64::new(capacity)),
+            capacity,
+            charge: Some(Arc::new(CreditCharge {
+                gate,
+                container: container.to_string(),
+                bytes,
+            })),
+        })
     }
 
     /// Attempts to acquire `n` credits atomically; all or nothing.
@@ -167,6 +220,42 @@ mod tests {
         let pool = CreditPool::new(0);
         assert!(pool.try_acquire(0).is_some());
         assert!(pool.try_acquire(1).is_none());
+    }
+
+    #[test]
+    fn gated_pool_charges_and_releases_backing_memory() {
+        use crate::account::MemoryAccountant;
+        let acct = MemoryAccountant::new();
+        let pool =
+            CreditPool::try_new(10, 512, Arc::new(acct.clone()), "rx").unwrap();
+        assert_eq!(acct.usage("rx"), 5_120);
+        let clone = pool.clone();
+        drop(pool);
+        assert_eq!(acct.usage("rx"), 5_120, "live clone keeps the charge");
+        drop(clone);
+        assert_eq!(acct.usage("rx"), 0);
+        assert_eq!(acct.accounting_errors(), 0);
+    }
+
+    #[test]
+    fn gated_pool_refusal_charges_nothing() {
+        use crate::account::{ChargeError, MemoryAccountant, MemoryGate};
+        struct DenyAll;
+        impl MemoryGate for DenyAll {
+            fn try_charge(&self, _c: &str, bytes: u64) -> Result<(), ChargeError> {
+                Err(ChargeError::QuotaExceeded {
+                    usage: 0,
+                    requested: bytes,
+                    limit: 0,
+                })
+            }
+            fn release(&self, _c: &str, _bytes: u64) {
+                panic!("nothing was charged");
+            }
+        }
+        assert!(CreditPool::try_new(4, 64, Arc::new(DenyAll), "rx").is_err());
+        let acct = MemoryAccountant::new();
+        assert_eq!(acct.usage("rx"), 0);
     }
 
     #[test]

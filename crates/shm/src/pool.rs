@@ -18,7 +18,7 @@ use std::sync::Arc;
 use crossbeam::queue::ArrayQueue;
 use parking_lot::RwLock;
 
-use crate::account::MemoryAccountant;
+use crate::account::{ChargeError, MemoryAccountant, MemoryGate};
 
 struct PoolShared {
     /// Backing storage, one boxed slab per buffer.
@@ -30,6 +30,16 @@ struct PoolShared {
     free: ArrayQueue<u32>,
     buf_size: usize,
     outstanding: AtomicUsize,
+    /// Gate the backing memory was charged through; released on drop.
+    gate: Arc<dyn MemoryGate + Send + Sync>,
+    container: String,
+    charged: u64,
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        self.gate.release(&self.container, self.charged);
+    }
 }
 
 /// A fixed-size-buffer pool with lock-free allocation.
@@ -49,6 +59,8 @@ pub struct PooledBuf {
 impl BufferPool {
     /// Creates a pool of `count` buffers of `buf_size` bytes each,
     /// charging the backing memory to `accountant` under `container`.
+    /// The accountant is observe-only, so the charge always succeeds;
+    /// use [`BufferPool::try_new`] to allocate under an enforcing gate.
     ///
     /// # Panics
     ///
@@ -59,20 +71,46 @@ impl BufferPool {
         accountant: &MemoryAccountant,
         container: &str,
     ) -> Self {
+        match Self::try_new(count, buf_size, Arc::new(accountant.clone()), container) {
+            Ok(pool) => pool,
+            // The observe-only gate admits every charge.
+            Err(e) => unreachable!("accountant gate refused a charge: {e}"),
+        }
+    }
+
+    /// Creates a pool of `count` buffers of `buf_size` bytes each,
+    /// charging the backing memory through `gate` under `container`.
+    /// Fails without allocating if the gate refuses the charge (the
+    /// container is over quota). The charge is released when the last
+    /// pool handle (and buffer) drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `buf_size` is zero.
+    pub fn try_new(
+        count: usize,
+        buf_size: usize,
+        gate: Arc<dyn MemoryGate + Send + Sync>,
+        container: &str,
+    ) -> Result<Self, ChargeError> {
         assert!(count > 0 && buf_size > 0, "empty pool is useless");
-        accountant.charge(container, (count * buf_size) as u64);
+        let charged = (count * buf_size) as u64;
+        gate.try_charge(container, charged)?;
         let free = ArrayQueue::new(count);
         for i in 0..count as u32 {
             free.push(i).expect("freshly sized queue cannot be full");
         }
-        BufferPool {
+        Ok(BufferPool {
             shared: Arc::new(PoolShared {
                 slabs: (0..count).map(|_| RwLock::new(vec![0u8; buf_size])).collect(),
                 free,
                 buf_size,
                 outstanding: AtomicUsize::new(0),
+                gate,
+                container: container.to_string(),
+                charged,
             }),
-        }
+        })
     }
 
     /// Allocates one buffer, or `None` if the pool is exhausted.
@@ -238,10 +276,63 @@ mod tests {
     }
 
     #[test]
-    fn memory_is_charged() {
+    fn memory_is_charged_and_released() {
         let acct = MemoryAccountant::new();
-        let _p = BufferPool::new(10, 100, &acct, "ponyd");
+        let p = BufferPool::new(10, 100, &acct, "ponyd");
         assert_eq!(acct.usage("ponyd"), 1000);
+        let held = p.alloc().unwrap();
+        drop(p);
+        // Outstanding buffers keep the backing slab (and charge) alive.
+        assert_eq!(acct.usage("ponyd"), 1000);
+        drop(held);
+        assert_eq!(acct.usage("ponyd"), 0, "charge released with the pool");
+        assert_eq!(acct.accounting_errors(), 0);
+    }
+
+    /// A gate that admits at most `cap` bytes per container.
+    struct CappedGate {
+        acct: MemoryAccountant,
+        cap: u64,
+    }
+
+    impl MemoryGate for CappedGate {
+        fn try_charge(&self, container: &str, bytes: u64) -> Result<(), ChargeError> {
+            if self.acct.charge_capped(container, bytes, self.cap) {
+                Ok(())
+            } else {
+                Err(ChargeError::QuotaExceeded {
+                    usage: self.acct.usage(container),
+                    requested: bytes,
+                    limit: self.cap,
+                })
+            }
+        }
+
+        fn release(&self, container: &str, bytes: u64) {
+            self.acct.release(container, bytes);
+        }
+    }
+
+    #[test]
+    fn try_new_respects_the_gate() {
+        let acct = MemoryAccountant::new();
+        let gate = Arc::new(CappedGate {
+            acct: acct.clone(),
+            cap: 1_500,
+        });
+        let p = BufferPool::try_new(10, 100, gate.clone(), "gated").unwrap();
+        assert_eq!(acct.usage("gated"), 1_000);
+        // A second kilobyte pool would exceed the 1500-byte cap.
+        let err = match BufferPool::try_new(10, 100, gate.clone(), "gated") {
+            Ok(_) => panic!("second pool must be refused"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ChargeError::QuotaExceeded { limit: 1_500, .. }));
+        assert_eq!(acct.usage("gated"), 1_000, "refused pool charges nothing");
+        drop(p);
+        assert_eq!(acct.usage("gated"), 0);
+        // With the charge released, the same request now fits.
+        assert!(BufferPool::try_new(10, 100, gate, "gated").is_ok());
     }
 
     #[test]

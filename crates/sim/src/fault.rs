@@ -118,6 +118,32 @@ pub enum FaultEvent {
         /// flipped.
         prob: f64,
     },
+    /// Squeeze a container's memory quota: its *finite* limits shrink
+    /// to `limit * (1 - fraction)` until a matching
+    /// [`FaultEvent::ReleasePressure`] (models host-level memory
+    /// pressure reclaiming budget from tenants). Containers with
+    /// unlimited quotas are unaffected, so randomized plans stay safe
+    /// for workloads that never set a budget.
+    ///
+    /// `container` is either a literal container name or the index
+    /// convention `c<k>` (randomized plans use the latter, since this
+    /// crate cannot see container names); the harness resolves `c<k>`
+    /// to the k-th app container on the host.
+    MemoryPressure {
+        /// Host whose admission controller is squeezed.
+        host: u32,
+        /// Container name, or `c<k>` for the k-th app on the host.
+        container: String,
+        /// Fraction of the quota reclaimed, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Lift a squeeze injected by [`FaultEvent::MemoryPressure`].
+    ReleasePressure {
+        /// Host whose admission controller is released.
+        host: u32,
+        /// Container name, or `c<k>` for the k-th app on the host.
+        container: String,
+    },
 }
 
 /// A time-ordered script of fault events.
@@ -175,7 +201,7 @@ impl FaultPlan {
             // Transient faults last 1-10% of the horizon.
             let dur = Nanos(horizon.as_nanos() / 100 * (1 + rng.below(10)));
             let end = Nanos((at + dur).as_nanos().min(horizon.as_nanos()));
-            match rng.below(6) {
+            match rng.below(7) {
                 0 => plan = plan.at(at, FaultEvent::EngineCrash { host, engine }),
                 1 => {
                     plan = plan.at(at, FaultEvent::EngineStall { host, engine, duration: dur });
@@ -196,15 +222,63 @@ impl FaultPlan {
                         .at(at, FaultEvent::PartitionOneWay { from: host, to: other })
                         .at(end, FaultEvent::HealOneWay { from: host, to: other });
                 }
-                _ => {
+                5 => {
                     let prob = (1 + rng.below(20)) as f64 / 1000.0;
                     plan = plan
                         .at(at, FaultEvent::CorruptRate { prob })
                         .at(end, FaultEvent::CorruptRate { prob: 0.0 });
                 }
+                _ => {
+                    // Squeeze 50-94% of the quota, released before the
+                    // horizon like every other transient fault.
+                    let container = format!("c{}", rng.below(engines_per_host as u64));
+                    let fraction = (50 + rng.below(45)) as f64 / 100.0;
+                    plan = plan
+                        .at(
+                            at,
+                            FaultEvent::MemoryPressure {
+                                host,
+                                container: container.clone(),
+                                fraction,
+                            },
+                        )
+                        .at(end, FaultEvent::ReleasePressure { host, container });
+                }
             }
         }
         plan
+    }
+
+    /// Per-container squeeze depth: the deepest memory-pressure
+    /// fraction each (host, container) pair sees in this plan. Useful
+    /// in plan debug output when diagnosing what a randomized plan
+    /// actually squeezed.
+    pub fn squeeze_summary(&self) -> String {
+        let mut depth: std::collections::BTreeMap<(u32, &str), f64> =
+            std::collections::BTreeMap::new();
+        for (_, ev) in &self.entries {
+            if let FaultEvent::MemoryPressure {
+                host,
+                container,
+                fraction,
+            } = ev
+            {
+                let d = depth.entry((*host, container.as_str())).or_insert(0.0);
+                if *fraction > *d {
+                    *d = *fraction;
+                }
+            }
+        }
+        if depth.is_empty() {
+            return "no memory-pressure events".to_string();
+        }
+        depth
+            .iter()
+            .map(|((host, container), frac)| {
+                format!("h{host}/{container}: max squeeze {:.0}%", frac * 100.0)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Schedules every event into `sim`; at each event's timestamp the
@@ -260,10 +334,11 @@ mod tests {
     }
 
     #[test]
-    fn randomized_partitions_always_heal() {
+    fn randomized_partitions_and_squeezes_always_heal() {
         let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 40);
         let mut open: Vec<(u32, u32)> = Vec::new();
         let mut open_oneway: Vec<(u32, u32)> = Vec::new();
+        let mut open_pressure: Vec<(u32, String)> = Vec::new();
         let mut entries = plan.entries().to_vec();
         entries.sort_by_key(|(at, _)| *at);
         for (_, ev) in &entries {
@@ -281,16 +356,73 @@ mod tests {
                         .expect("one-way heal matches");
                     open_oneway.remove(idx);
                 }
+                FaultEvent::MemoryPressure { host, container, .. } => {
+                    open_pressure.push((*host, container.clone()));
+                }
+                FaultEvent::ReleasePressure { host, container } => {
+                    let idx = open_pressure
+                        .iter()
+                        .position(|p| p == &(*host, container.clone()))
+                        .expect("pressure release matches");
+                    open_pressure.remove(idx);
+                }
                 _ => {}
             }
         }
         assert!(open.is_empty(), "unhealed partitions: {open:?}");
         assert!(open_oneway.is_empty(), "unhealed one-way partitions: {open_oneway:?}");
+        assert!(open_pressure.is_empty(), "unreleased squeezes: {open_pressure:?}");
+    }
+
+    #[test]
+    fn randomized_plans_include_memory_pressure() {
+        // With enough draws the 7-way fault mix must squeeze someone
+        // (fixed seed keeps this stable).
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 60);
+        let squeezes: Vec<_> = plan
+            .entries()
+            .iter()
+            .filter(|(_, ev)| matches!(ev, FaultEvent::MemoryPressure { .. }))
+            .collect();
+        assert!(!squeezes.is_empty(), "no memory pressure in 60 draws");
+        for (_, ev) in &squeezes {
+            if let FaultEvent::MemoryPressure { container, fraction, .. } = ev {
+                assert!(container.starts_with('c'), "index convention: {container}");
+                assert!((0.5..0.95).contains(fraction), "fraction {fraction}");
+            }
+        }
+        // Debug output names who gets squeezed and how deep.
+        let summary = plan.squeeze_summary();
+        assert!(summary.contains("max squeeze"), "summary: {summary}");
+        assert!(summary.contains("/c"), "summary names containers: {summary}");
+    }
+
+    #[test]
+    fn squeeze_summary_reports_deepest_fraction() {
+        let plan = FaultPlan::new()
+            .at(
+                Nanos(10),
+                FaultEvent::MemoryPressure {
+                    host: 1,
+                    container: "web".into(),
+                    fraction: 0.3,
+                },
+            )
+            .at(
+                Nanos(20),
+                FaultEvent::MemoryPressure {
+                    host: 1,
+                    container: "web".into(),
+                    fraction: 0.8,
+                },
+            );
+        assert_eq!(plan.squeeze_summary(), "h1/web: max squeeze 80%");
+        assert_eq!(FaultPlan::new().squeeze_summary(), "no memory-pressure events");
     }
 
     #[test]
     fn randomized_plans_include_oneway_partitions() {
-        // With enough draws the 6-way fault mix must produce at least
+        // With enough draws the 7-way fault mix must produce at least
         // one asymmetric partition (fixed seed keeps this stable).
         let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 60);
         assert!(

@@ -38,6 +38,7 @@ use snap_core::module::{ControlCx, ControlError, Module};
 use snap_core::supervisor::{RestartKind, Supervisor};
 use snap_core::upgrade::UpgradeReport;
 use snap_core::{Engine, EngineId};
+use snap_isolation::AdmissionController;
 use snap_nic::fabric::{DropReasons, FabricHandle, FabricStats, LinkStats};
 use snap_nic::HostId;
 use snap_pony::engine::PonyStats;
@@ -101,12 +102,23 @@ struct UpgradeWatch {
     ingested: bool,
 }
 
+struct AdmissionWatch {
+    label: String,
+    adm: AdmissionController,
+    /// Last absolute (denials, sheds) per container, for deltas.
+    last: HashMap<String, (u64, u64)>,
+    last_errors: u64,
+    /// Cursor into the admission controller's transition log.
+    next_seq: u64,
+}
+
 struct Inner {
     cfg: StatsConfig,
     engines: Vec<EngineWatch>,
     fabrics: Vec<FabricWatch>,
     supervisors: Vec<SupervisorWatch>,
     upgrades: Vec<UpgradeWatch>,
+    admissions: Vec<AdmissionWatch>,
     running: bool,
 }
 
@@ -129,6 +141,7 @@ impl StatsModule {
                 fabrics: Vec::new(),
                 supervisors: Vec::new(),
                 upgrades: Vec::new(),
+                admissions: Vec::new(),
                 running: false,
             })),
         }
@@ -190,6 +203,22 @@ impl StatsModule {
         });
     }
 
+    /// Watches an admission controller: per-container pressure and
+    /// usage gauges under `isolation.<label>.<container>.*`, plus
+    /// denial/shed counter deltas, and label-level
+    /// `isolation.<label>.{pressure_transitions,accounting_errors}`
+    /// counters. Admission state is control-plane shared state (no
+    /// mailbox round-trip needed), so each poll reads it directly.
+    pub fn watch_admission(&self, label: &str, adm: AdmissionController) {
+        self.inner.borrow_mut().admissions.push(AdmissionWatch {
+            label: label.to_string(),
+            adm,
+            last: HashMap::new(),
+            last_errors: 0,
+            next_seq: 0,
+        });
+    }
+
     /// Starts the periodic poll loop (first tick one period from now).
     pub fn start(&self, sim: &mut Sim) {
         let period = {
@@ -238,6 +267,9 @@ impl StatsModule {
         for w in &mut inner.upgrades {
             poll_upgrade(&self.registry, w);
         }
+        for w in &mut inner.admissions {
+            poll_admission(&self.registry, w);
+        }
         self.registry.counter("stats.polls").inc();
     }
 
@@ -285,6 +317,10 @@ fn ingest_engine(registry: &Registry, w: &mut EngineWatch) {
     scope
         .counter("completions_dropped")
         .add(delta(s.completions_dropped, l.completions_dropped));
+    scope.counter("ops_shed").add(delta(s.ops_shed, l.ops_shed));
+    scope
+        .counter("busy_rejected")
+        .add(delta(s.busy_rejected, l.busy_rejected));
     w.last = sample.stats;
 
     let shm = registry.scoped(&format!("shm.{}", w.label));
@@ -443,6 +479,39 @@ fn poll_upgrade(registry: &Registry, w: &mut UpgradeWatch) {
     }
     drop(slot);
     w.ingested = true;
+}
+
+fn poll_admission(registry: &Registry, w: &mut AdmissionWatch) {
+    for snap in w.adm.snapshot() {
+        let scope = registry.scoped(&format!("isolation.{}.{}", w.label, snap.container));
+        scope.gauge("pressure").set(i64::from(snap.pressure.as_u8()));
+        scope
+            .gauge("usage_bytes")
+            .set(i64::try_from(snap.usage_bytes).unwrap_or(i64::MAX));
+        let (last_denials, last_sheds) =
+            w.last.get(&snap.container).copied().unwrap_or((0, 0));
+        scope
+            .counter("denials")
+            .add(snap.denials.saturating_sub(last_denials));
+        scope
+            .counter("sheds")
+            .add(snap.sheds.saturating_sub(last_sheds));
+        w.last
+            .insert(snap.container.clone(), (snap.denials, snap.sheds));
+    }
+    let scope = registry.scoped(&format!("isolation.{}", w.label));
+    let (transitions, next_seq) = w.adm.transitions_since(w.next_seq);
+    if !transitions.is_empty() {
+        scope
+            .counter("pressure_transitions")
+            .add(transitions.len() as u64);
+    }
+    w.next_seq = next_seq;
+    let errors = w.adm.accounting_errors();
+    scope
+        .counter("accounting_errors")
+        .add(errors.saturating_sub(w.last_errors));
+    w.last_errors = errors;
 }
 
 impl Module for StatsModule {

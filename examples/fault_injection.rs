@@ -1,24 +1,32 @@
-//! Fault injection and crash recovery in ~80 lines.
+//! Fault injection and crash recovery in ~120 lines.
 //!
 //! Two hosts exchange messages while a scripted [`FaultPlan`] corrupts
-//! 2% of payloads, crashes the sender's engine mid-run, and partitions
-//! the rack for half a second. An engine [`Supervisor`] (periodic
-//! checkpoints + crash detection) restarts the crashed engine from its
-//! last checkpoint, and the transport's SACK/RTO machinery carries
-//! everything across the partition — every message arrives exactly
-//! once, in order.
+//! 2% of payloads, crashes the sender's engine mid-run, partitions the
+//! rack for half a second, and then squeezes the sender's memory quota
+//! by 90%. An engine [`Supervisor`] (periodic checkpoints + crash
+//! detection) restarts the crashed engine from its last checkpoint,
+//! and the transport's SACK/RTO machinery carries everything across
+//! the partition — every message arrives exactly once, in order. Under
+//! the squeeze, best-effort work is shed (attributed, not silently
+//! dropped) while transport work keeps flowing.
 //!
 //! Run with: `cargo run --example fault_injection`
 
 use snap_repro::core::supervisor::SupervisorConfig;
-use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::isolation::QuotaPolicy;
+use snap_repro::nic::packet::QosClass;
+use snap_repro::pony::client::{OpStatus, PonyCommand, PonyCompletion};
+use snap_repro::shm::region::AccessMode;
 use snap_repro::sim::fault::{FaultEvent, FaultPlan};
 use snap_repro::sim::Nanos;
 use snap_repro::telemetry::StatsConfig;
-use snap_repro::testbed::Testbed;
+use snap_repro::testbed::{Testbed, TestbedConfig};
 
 fn main() {
-    let mut tb = Testbed::pair();
+    let mut tb = Testbed::new(TestbedConfig {
+        admission: true,
+        ..TestbedConfig::default()
+    });
     let mut app = tb.pony_app(0, "frontend", |_| {});
     let mut srv = tb.pony_app(1, "backend", |_| {});
     let conn = tb.connect(0, "frontend", 1, "backend");
@@ -42,19 +50,37 @@ fn main() {
     stats.watch_supervisor(sup.clone(), &[(frontend_id, "h0.frontend".to_string())]);
     stats.start(&mut tb.sim);
 
-    // The fault script: corruption throughout, a crash at 30 ms, and a
-    // 500 ms partition starting at 150 ms.
+    // The fault script: corruption throughout, a crash at 30 ms, a
+    // 500 ms partition starting at 150 ms, and a 90% memory squeeze on
+    // the frontend container from 2.0 s to 2.4 s.
     let plan = FaultPlan::new()
         .at(Nanos(1), FaultEvent::CorruptRate { prob: 0.02 })
         .at(Nanos::from_millis(30), FaultEvent::EngineCrash { host: 0, engine: 0 })
         .at(Nanos::from_millis(150), FaultEvent::Partition { a: 0, b: 1 })
-        .at(Nanos::from_millis(650), FaultEvent::Heal { a: 0, b: 1 });
+        .at(Nanos::from_millis(650), FaultEvent::Heal { a: 0, b: 1 })
+        .at(
+            Nanos::from_millis(2_000),
+            FaultEvent::MemoryPressure {
+                host: 0,
+                container: "frontend".to_string(),
+                fraction: 0.9,
+            },
+        )
+        .at(
+            Nanos::from_millis(2_400),
+            FaultEvent::ReleasePressure {
+                host: 0,
+                container: "frontend".to_string(),
+            },
+        );
     tb.install_fault_plan(&plan);
 
     let mut got: Vec<u64> = Vec::new();
+    // Only stream 0 carries the exactly-once workload; stream 1 is the
+    // best-effort probe used in the memory-pressure phase below.
     let recv = |srv: &mut snap_repro::pony::PonyClient, got: &mut Vec<u64>| {
         for c in srv.take_completions() {
-            if let PonyCompletion::RecvMsg { msg, .. } = c {
+            if let PonyCompletion::RecvMsg { stream: 0, msg, .. } = c {
                 got.push(msg);
             }
         }
@@ -81,6 +107,53 @@ fn main() {
         }
     }
     // Let the heal and the retransmissions finish.
+    while tb.sim.now() < Nanos::from_millis(1_900) {
+        tb.run_ms(50);
+        recv(&mut srv, &mut got);
+    }
+
+    // --- Memory-pressure phase -------------------------------------
+    // The frontend pins a 64 KiB cache region (persistent usage) and
+    // gets a 100 KB soft budget. Unsqueezed that is comfortable; the
+    // scripted 90% squeeze at 2.0 s shrinks it to 10 KB, putting the
+    // container under Soft pressure — best-effort work is shed,
+    // transport work keeps its exactly-once guarantee.
+    tb.hosts[0]
+        .regions
+        .register_with("frontend", vec![0u8; 64 << 10], AccessMode::ReadWrite);
+    let quota = tb.quota_module(0);
+    quota
+        .admission()
+        .set_policy("frontend", QuotaPolicy::with_mem(100_000, u64::MAX));
+    while tb.sim.now() < Nanos::from_millis(2_100) {
+        tb.run_ms(10);
+        recv(&mut srv, &mut got);
+    }
+    let probe = |tb: &mut Testbed, app: &mut snap_repro::pony::PonyClient| {
+        let op = app.submit_with_class(
+            &mut tb.sim,
+            PonyCommand::Send { conn, stream: 1, len: 512 },
+            QosClass::BestEffort,
+        );
+        tb.run_ms(5);
+        app.take_completions()
+            .into_iter()
+            .find_map(|c| match c {
+                PonyCompletion::OpDone { op: o, status, .. } if o == op => Some(status),
+                _ => None,
+            })
+            .expect("probe completed")
+    };
+    let squeezed = probe(&mut tb, &mut app);
+    println!("best-effort probe under 90% squeeze: {squeezed:?}");
+    assert_eq!(squeezed, OpStatus::Shed, "best-effort shed under pressure");
+    while tb.sim.now() < Nanos::from_millis(2_500) {
+        tb.run_ms(10);
+        recv(&mut srv, &mut got);
+    }
+    let released = probe(&mut tb, &mut app);
+    println!("best-effort probe after release: {released:?}");
+    assert_eq!(released, OpStatus::Ok, "pressure released");
     while tb.sim.now() < Nanos::from_millis(3_000) {
         tb.run_ms(50);
         recv(&mut srv, &mut got);
@@ -92,12 +165,26 @@ fn main() {
         got.len(),
         got == (0..30).collect::<Vec<u64>>()
     );
-    // The final dashboard: engine op counters, restart/blackout
-    // telemetry, and per-link drop attribution, from one snapshot.
+    // The final dashboards: engine op counters, restart/blackout
+    // telemetry, and per-link drop attribution from one stats
+    // snapshot, plus the quota module's pressure table.
     println!("\n{}", stats.table(tb.sim.now()));
+    println!("quota table:\n{}", quota.table());
+    println!("pressure transitions:\n{}", quota.transition_log());
     let snap = stats.snapshot(tb.sim.now());
     assert_eq!(got, (0..30).collect::<Vec<u64>>());
     assert_eq!(snap.counter("engine.h0.frontend.restarts.crash"), Some(1));
     assert!(snap.counter("fabric.host1.drops.corruption").unwrap_or(0) > 0);
-    println!("recovered from crash + partition + corruption — exactly once, in order");
+    let adm = quota.admission();
+    assert!(
+        adm.snapshot().iter().any(|s| s.container == "frontend" && s.sheds >= 1),
+        "the shed was attributed to the frontend container"
+    );
+    assert!(
+        adm.transitions().iter().any(|t| t.container == "frontend"),
+        "pressure transitions were logged"
+    );
+    println!(
+        "recovered from crash + partition + corruption + memory squeeze — exactly once, in order"
+    );
 }

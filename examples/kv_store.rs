@@ -14,16 +14,20 @@
 //! cargo run --example kv_store
 //! ```
 
-use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::isolation::QuotaPolicy;
+use snap_repro::pony::client::{OpStatus, PonyCommand, PonyCompletion};
 use snap_repro::shm::region::AccessMode;
 use snap_repro::sim::Nanos;
-use snap_repro::testbed::Testbed;
+use snap_repro::testbed::{Testbed, TestbedConfig};
 
 const BUCKETS: u64 = 1024;
 const VALUE_LEN: u32 = 64;
 
 fn main() {
-    let mut tb = Testbed::pair();
+    let mut tb = Testbed::new(TestbedConfig {
+        admission: true,
+        ..TestbedConfig::default()
+    });
     let mut client = tb.pony_app(0, "analytics", |_| {});
     let _server = tb.pony_app(1, "kvserver", |_| {});
     let conn = tb.connect(0, "analytics", 1, "kvserver");
@@ -158,4 +162,49 @@ fn main() {
         wall * 1e3,
         looked_up as f64 / wall / 1e6
     );
+
+    // --- Strategy 4: runtime quotas from the operator's seat --------
+    // The client pins a 64 KiB result cache, then an operator tightens
+    // its memory budget below that at runtime through the quota
+    // module. The container goes under Hard pressure and new ops get
+    // `Busy` back-pressure — refused before entering the transport, so
+    // nothing is half-sent. Raising the budget (also at runtime) heals
+    // it immediately.
+    tb.hosts[0]
+        .regions
+        .register_with("analytics", vec![0u8; 64 << 10], AccessMode::ReadWrite);
+    let quota = tb.quota_module(0);
+    let lookup_status = |tb: &mut Testbed, client: &mut snap_repro::pony::PonyClient| {
+        let op = client.submit(
+            &mut tb.sim,
+            PonyCommand::IndirectRead {
+                conn,
+                table: table_region.0,
+                indices: vec![3],
+                len: VALUE_LEN,
+            },
+        );
+        tb.run_ms(1);
+        client
+            .take_completions()
+            .into_iter()
+            .find_map(|c| match c {
+                PonyCompletion::OpDone { op: o, status, .. } if o == op => Some(status),
+                _ => None,
+            })
+            .expect("lookup completed")
+    };
+    quota
+        .admission()
+        .set_policy("analytics", QuotaPolicy::with_mem(32_000, 48_000));
+    let throttled = lookup_status(&mut tb, &mut client);
+    println!("lookup under a 48 KB hard budget (64 KiB pinned): {throttled:?}");
+    assert_eq!(throttled, OpStatus::Busy, "hard pressure pushes back");
+    quota
+        .admission()
+        .set_policy("analytics", QuotaPolicy::with_mem(100_000, 200_000));
+    let healed = lookup_status(&mut tb, &mut client);
+    println!("lookup after the operator raised the budget: {healed:?}");
+    assert_eq!(healed, OpStatus::Ok, "budget raise applies immediately");
+    println!("\nquota table:\n{}", quota.table());
 }

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Regenerates the bench trajectory JSONs:
 #
-#   bench.sh            — run every bench (BENCH_pr2.json, BENCH_pr3.json)
+#   bench.sh            — run every bench (BENCH_pr2/pr3/pr4.json)
 #   bench.sh pr2 [out]  — datapath batching only (default BENCH_pr2.json)
 #   bench.sh pr3 [out]  — telemetry overhead only (default BENCH_pr3.json)
+#   bench.sh pr4 [out]  — admission overhead only (default BENCH_pr4.json)
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
 #      both engines and the fabric every millisecond; instrumentation
 #      must stay within 3% on wall-clock and modeled throughput.
+# pr4: the same workload with admission control disabled vs enforcing
+#      under unlimited quotas; enforcement must be invisible to the
+#      modeled schedule and within 3% on wall-clock.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -29,16 +33,25 @@ run_pr3() {
     cargo run --release -q -p snap-bench --bin bench_telemetry "${1:-BENCH_pr3.json}"
 }
 
+run_pr4() {
+    cargo build --release -p snap-bench --bin bench_isolation
+    cargo run --release -q -p snap-bench --bin bench_isolation "${1:-BENCH_pr4.json}"
+}
+
 case "$mode" in
     all)
         run_pr2
         run_pr3
+        run_pr4
         ;;
     pr2)
         run_pr2 "${2:-}"
         ;;
     pr3)
         run_pr3 "${2:-}"
+        ;;
+    pr4)
+        run_pr4 "${2:-}"
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

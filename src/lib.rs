@@ -13,6 +13,7 @@
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use snap_core as core;
+pub use snap_isolation as isolation;
 pub use snap_nic as nic;
 pub use snap_pony as pony;
 pub use snap_sched as sched;

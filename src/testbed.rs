@@ -18,6 +18,7 @@ use snap_pony::engine::PonyEngineConfig;
 use snap_pony::module::{new_net, PonyModule, PonyNetHandle};
 use snap_core::engine::EngineId;
 use snap_core::supervisor::{Supervisor, SupervisorConfig};
+use snap_isolation::{AdmissionController, QuotaModule};
 use snap_sched::machine::Machine;
 use snap_shm::account::{CpuAccountant, MemoryAccountant};
 use snap_shm::region::RegionRegistry;
@@ -41,6 +42,11 @@ pub struct TestbedConfig {
     pub loss: f64,
     /// Master seed for all randomness.
     pub seed: u64,
+    /// Install a per-host [`AdmissionController`] enforcing memory
+    /// quotas on every engine (§2.5). Containers start unlimited, so
+    /// enabling this alone changes no admission decisions — set
+    /// policies (or inject memory-pressure faults) to constrain them.
+    pub admission: bool,
 }
 
 impl Default for TestbedConfig {
@@ -52,6 +58,7 @@ impl Default for TestbedConfig {
             mode: SchedulingMode::Dedicated { cores: vec![0] },
             loss: 0.0,
             seed: 42,
+            admission: false,
         }
     }
 }
@@ -72,6 +79,9 @@ pub struct TestHost {
     pub cpu: CpuAccountant,
     /// Per-container memory accounting.
     pub memory: MemoryAccountant,
+    /// Quota enforcement over this host's accountants, when the
+    /// testbed was built with [`TestbedConfig::admission`].
+    pub admission: Option<AdmissionController>,
 }
 
 /// A simulated rack running Snap.
@@ -121,7 +131,12 @@ impl Testbed {
             );
             group.start(&mut sim);
             let regions = RegionRegistry::new(memory.clone());
-            let module = PonyModule::new(id, fabric.clone(), regions.clone(), group.clone(), net.clone());
+            let mut module = PonyModule::new(id, fabric.clone(), regions.clone(), group.clone(), net.clone());
+            let admission = cfg.admission.then(|| {
+                let adm = AdmissionController::new(memory.clone(), cpu.clone());
+                module.set_admission(adm.clone());
+                adm
+            });
             hosts.push(TestHost {
                 id,
                 machine,
@@ -130,6 +145,7 @@ impl Testbed {
                 regions,
                 cpu,
                 memory,
+                admission,
             });
         }
         Testbed {
@@ -216,6 +232,8 @@ impl Testbed {
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
         let fabric = self.fabric.clone();
         let groups: Vec<GroupHandle> = self.hosts.iter().map(|h| h.group.clone()).collect();
+        let admissions: Vec<Option<AdmissionController>> =
+            self.hosts.iter().map(|h| h.admission.clone()).collect();
         plan.install(&mut self.sim, move |sim, ev| match *ev {
             FaultEvent::EngineCrash { host, engine } => {
                 if let Some(g) = groups.get(host as usize) {
@@ -243,7 +261,42 @@ impl Testbed {
             FaultEvent::PartitionOneWay { from, to } => fabric.partition_oneway(from, to),
             FaultEvent::HealOneWay { from, to } => fabric.heal_oneway(from, to),
             FaultEvent::CorruptRate { prob } => fabric.set_corrupt_prob(prob),
+            FaultEvent::MemoryPressure {
+                host,
+                ref container,
+                fraction,
+            } => {
+                if let Some(Some(adm)) = admissions.get(host as usize) {
+                    if let Some(name) = resolve_container(adm, container) {
+                        adm.apply_pressure(&name, fraction);
+                    }
+                }
+            }
+            FaultEvent::ReleasePressure { host, ref container } => {
+                if let Some(Some(adm)) = admissions.get(host as usize) {
+                    if let Some(name) = resolve_container(adm, container) {
+                        adm.release_pressure(&name);
+                    }
+                }
+            }
         });
+    }
+
+    /// A [`QuotaModule`] over `host`'s admission controller — register
+    /// it with a `SnapProcess` for RPC access, or drive its methods
+    /// directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the testbed was built without
+    /// [`TestbedConfig::admission`].
+    pub fn quota_module(&self, host: usize) -> QuotaModule {
+        QuotaModule::new(
+            self.hosts[host]
+                .admission
+                .clone()
+                .expect("testbed built with admission enabled"),
+        )
     }
 
     /// Puts an app's engine on `host` under supervision: periodic
@@ -299,9 +352,28 @@ impl Testbed {
                 seen.push(engine_id);
                 stats.watch_engine(&format!("h{h}.{app}"), host.group.clone(), engine_id);
             }
+            if let Some(adm) = &host.admission {
+                stats.watch_admission(&format!("h{h}"), adm.clone());
+            }
         }
         stats
     }
+}
+
+/// Resolves a fault plan's container name against a host's admission
+/// controller. Randomized plans use the positional convention `c<k>`
+/// (the k-th registered container, sorted); anything else passes
+/// through literally if registered. Unknown names resolve to `None`
+/// (randomized plans over-approximate, same contract as unknown hosts).
+fn resolve_container(adm: &AdmissionController, name: &str) -> Option<String> {
+    let registered = adm.containers();
+    if let Some(idx) = name
+        .strip_prefix('c')
+        .and_then(|rest| rest.parse::<usize>().ok())
+    {
+        return registered.get(idx).cloned();
+    }
+    registered.iter().find(|c| c.as_str() == name).cloned()
 }
 
 #[cfg(test)]

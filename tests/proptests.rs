@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
+use snap_repro::isolation::{AdmissionController, QuotaPolicy};
 use snap_repro::nic::crc::{crc32c, crc32c_append};
+use snap_repro::shm::account::CpuAccountant;
 use snap_repro::pony::flow::{Accept, Flow};
 use snap_repro::pony::timely::{Timely, TimelyConfig};
 use snap_repro::pony::wire::{OpFrame, PonyPacket};
@@ -252,5 +254,85 @@ proptest! {
         prop_assert_eq!(restored.id, 9);
         prop_assert_eq!(restored.version, 4);
         let _ = produced;
+    }
+
+    /// Quota invariant: under arbitrary interleavings of charges,
+    /// releases, policy resizes and pressure squeezes across several
+    /// containers, an admitted charge NEVER pushes usage past the
+    /// container's effective hard limit at that moment, the
+    /// controller's usage always matches an exact model, and matched
+    /// charge/release traffic never trips the accounting-error counter.
+    #[test]
+    fn admission_never_exceeds_quota(
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..3, 1u64..100_000, 0u64..100),
+            1..300
+        )
+    ) {
+        let adm = AdmissionController::new(
+            snap_repro::shm::account::MemoryAccountant::new(),
+            CpuAccountant::new(),
+        );
+        let names = ["a", "b", "c"];
+        // Model state per container: usage, (soft, hard), squeeze.
+        let mut usage = [0u64; 3];
+        let mut policy = [(u64::MAX, u64::MAX); 3];
+        let mut squeeze = [0.0f64; 3];
+        // Mirror of the crate's `effective` clamp.
+        let eff = |limit: u64, sq: f64| -> u64 {
+            if limit == u64::MAX || sq <= 0.0 {
+                limit
+            } else {
+                (limit as f64 * (1.0 - sq.clamp(0.0, 1.0))) as u64
+            }
+        };
+        for (kind, c, bytes, pct) in ops {
+            let name = names[c];
+            match kind {
+                0 => {
+                    let admitted = adm.try_charge(name, bytes).is_ok();
+                    let hard = eff(policy[c].1, squeeze[c]);
+                    if admitted {
+                        usage[c] += bytes;
+                        prop_assert!(
+                            usage[c] <= hard,
+                            "admitted past the effective hard limit: {} > {}",
+                            usage[c],
+                            hard
+                        );
+                    } else {
+                        // A refusal must have been justified.
+                        prop_assert!(
+                            usage[c].checked_add(bytes).map(|n| n > hard).unwrap_or(true),
+                            "refused a charge that fit: {} + {} <= {}",
+                            usage[c],
+                            bytes,
+                            hard
+                        );
+                    }
+                }
+                1 => {
+                    // Only release what the model knows was charged, so
+                    // the accountant never sees an unmatched release.
+                    let r = bytes.min(usage[c]);
+                    if r > 0 {
+                        adm.release(name, r);
+                        usage[c] -= r;
+                    }
+                }
+                2 => {
+                    let hard = bytes.saturating_mul(2);
+                    adm.set_policy(name, QuotaPolicy::with_mem(bytes, hard));
+                    policy[c] = (bytes, hard);
+                }
+                _ => {
+                    let f = pct as f64 / 100.0;
+                    adm.apply_pressure(name, f);
+                    squeeze[c] = f.clamp(0.0, 1.0);
+                }
+            }
+            prop_assert_eq!(adm.usage(name), usage[c], "usage diverged from model");
+        }
+        prop_assert_eq!(adm.accounting_errors(), 0);
     }
 }

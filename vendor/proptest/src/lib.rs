@@ -80,6 +80,26 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy!(
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+);
+
 /// Generates any value of a type with a full-range distribution.
 pub trait Arbitrary {
     /// Draws an unconstrained value.
