@@ -103,6 +103,7 @@ fn bench_wire(c: &mut Criterion) {
         seq: 123456,
         cum_ack: 123450,
         sacks: vec![123460, 123462],
+        trace: None,
         frame: OpFrame::MsgChunk {
             conn: 9,
             stream: 2,

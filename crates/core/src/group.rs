@@ -27,6 +27,7 @@ use std::rc::Rc;
 
 use snap_shm::account::CpuAccountant;
 use snap_sim::costs;
+use snap_sim::stats::Histogram;
 use snap_sim::{Nanos, Sim};
 
 use snap_sched::classes::{MicroQuantaBudget, SchedClass};
@@ -193,6 +194,11 @@ pub struct EngineGroup {
     crashed: Vec<bool>,
     /// Wedged engines make no progress until this virtual time.
     stalled_until: Vec<Nanos>,
+    /// Scheduling delay of every wake that had to schedule a worker:
+    /// spin pickup for a spinning worker, interrupt wake latency for a
+    /// blocked one. The per-mode distribution behind the trace layer's
+    /// engine-dequeue gap and Fig. 3's latency/CPU trade-off.
+    sched_delay: Histogram,
 }
 
 impl EngineGroup {
@@ -232,6 +238,7 @@ impl GroupHandle {
                 suspended: Vec::new(),
                 crashed: Vec::new(),
                 stalled_until: Vec::new(),
+                sched_delay: Histogram::new(),
             })),
         }
     }
@@ -410,6 +417,7 @@ impl GroupHandle {
             }
         };
         if let Some(delay) = action {
+            self.inner.borrow_mut().sched_delay.record_nanos(delay);
             let handle = self.clone();
             sim.schedule_at(now + delay, move |sim| handle.run_worker(sim, worker_idx));
         }
@@ -988,6 +996,22 @@ impl GroupHandle {
     /// Total workers ever created.
     pub fn worker_count(&self) -> usize {
         self.inner.borrow().workers.len()
+    }
+
+    /// Snapshot of the group's scheduling-delay histogram: one sample
+    /// per wake that had to schedule a worker (spin pickup vs interrupt
+    /// wake latency). Cumulative; diff two snapshots for an interval.
+    pub fn sched_delay_histogram(&self) -> Histogram {
+        self.inner.borrow().sched_delay.clone()
+    }
+
+    /// Stable label of the group's scheduling mode, for metric keys.
+    pub fn mode_label(&self) -> &'static str {
+        match self.inner.borrow().mode {
+            SchedulingMode::Dedicated { .. } => "dedicated",
+            SchedulingMode::Spreading => "spreading",
+            SchedulingMode::Compacting { .. } => "compacting",
+        }
     }
 }
 

@@ -25,6 +25,7 @@ use std::rc::Rc;
 
 use snap_sim::costs;
 use snap_sim::time::transmit_time;
+use snap_sim::trace::{Stage, TraceRecorder, FABRIC_HOST};
 use snap_sim::{Nanos, Rng, Sim};
 
 use crate::nic::{NicConfig, VirtNic};
@@ -158,6 +159,10 @@ pub struct Fabric {
     rng: Rng,
     stats: FabricStats,
     next_host: HostId,
+    /// Trace recorder for causal op tracing. Observation-only: stamps
+    /// stage records against packets that carry a trace context but
+    /// never changes timing, RNG draws, or drop decisions.
+    recorder: Option<TraceRecorder>,
 }
 
 fn norm_pair(a: HostId, b: HostId) -> (HostId, HostId) {
@@ -180,6 +185,7 @@ impl Fabric {
             rng,
             stats: FabricStats::default(),
             next_host: 0,
+            recorder: None,
         }
     }
 
@@ -207,9 +213,11 @@ impl Fabric {
     /// fault injection behaves identically packet-by-packet inside a
     /// train (same RNG draw order, same counters).
     fn switch_admit(&mut self, now: Nanos, pkt: &mut Packet) -> Option<Nanos> {
+        self.stamp(pkt, Stage::SwitchArrive, FABRIC_HOST, now);
         // Random loss injection.
         if self.cfg.loss_prob > 0.0 && self.rng.chance(self.cfg.loss_prob) {
             self.stats.random_drops += 1;
+            self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
             return None;
         }
         // Partition: the switch forwards nothing between a symmetric
@@ -222,6 +230,7 @@ impl Fabric {
             self.stats.partition_drops += 1;
             self.fault_drops.entry(pkt.dst).or_default().partition += 1;
             self.links.entry((pkt.src, pkt.dst)).or_default().partition_drops += 1;
+            self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
             return None;
         }
         // Payload corruption: flip one bit, leave the CRC stale; the
@@ -237,6 +246,7 @@ impl Fabric {
             self.stats.corrupted += 1;
             self.fault_drops.entry(pkt.dst).or_default().corruption += 1;
             self.links.entry((pkt.src, pkt.dst)).or_default().corrupted += 1;
+            self.stamp(pkt, Stage::WireCorrupt, FABRIC_HOST, now);
         }
         // Buffer admission at the destination egress port.
         let limit = match pkt.qos {
@@ -251,6 +261,7 @@ impl Fabric {
             // Destination host does not exist; treat as routed to a
             // black hole.
             self.stats.switch_drops += 1;
+            self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
             return None;
         };
         let port = self
@@ -259,13 +270,23 @@ impl Fabric {
             .expect("nic implies egress port");
         if port.queued_bytes + pkt.wire_size as u64 > limit {
             self.stats.switch_drops += 1;
+            self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
             return None;
         }
         port.queued_bytes += pkt.wire_size as u64;
         let start = port.busy_until.max(now + switch_latency);
         let dep = start + transmit_time(pkt.wire_size as u64, egress_gbps);
         port.busy_until = dep;
+        self.stamp(pkt, Stage::SwitchDepart, FABRIC_HOST, dep);
         Some(dep)
+    }
+
+    /// Stamps one stage record against the packet's trace context, if
+    /// both the context and a recorder are present. Pure observation.
+    fn stamp(&self, pkt: &Packet, stage: Stage, host: HostId, at: Nanos) {
+        if let (Some(ctx), Some(rec)) = (pkt.trace, self.recorder.as_ref()) {
+            rec.record(ctx, stage, host, at);
+        }
     }
 }
 
@@ -302,6 +323,14 @@ impl FabricHandle {
     /// Fabric counters snapshot.
     pub fn stats(&self) -> FabricStats {
         self.inner.borrow().stats.clone()
+    }
+
+    /// Installs the trace recorder the fabric stamps stage records
+    /// into: NIC tx uplink clear, switch arrival/departure, in-flight
+    /// drops and corruption, and final NIC delivery. Stamping is pure
+    /// observation — modeled time is identical with or without it.
+    pub fn set_recorder(&self, recorder: TraceRecorder) {
+        self.inner.borrow_mut().recorder = Some(recorder);
     }
 
     /// Sets the random loss probability (failure injection).
@@ -451,7 +480,9 @@ impl FabricHandle {
             let start = (*busy).max(dma_ready);
             let end = start + ser;
             *busy = end;
-            (end.max(stall + ser), src, wire)
+            let depart = end.max(stall + ser);
+            fabric.stamp(&pkt, Stage::NicTx, src, depart);
+            (depart, src, wire)
         };
 
         // Tx descriptor completes when serialization finishes.
@@ -538,15 +569,19 @@ impl FabricHandle {
                 }
                 taken += 1;
             }
-            let busy = fabric.uplink_busy.get_mut(&src).expect("uplink exists");
+            let mut busy = *fabric.uplink_busy.get(&src).expect("uplink exists");
             let mut depart = Nanos::ZERO;
             for pkt in &pkts[..taken] {
                 let ser = transmit_time(pkt.wire_size as u64, gbps);
-                let start = (*busy).max(dma_ready);
+                let start = busy.max(dma_ready);
                 let end = start + ser;
-                *busy = end;
+                busy = end;
+                // Each packet clears the uplink at its own serialization
+                // end, even though one event forwards the whole train.
+                fabric.stamp(pkt, Stage::NicTx, src, end.max(stall + ser));
                 depart = depart.max(end.max(stall + ser));
             }
+            *fabric.uplink_busy.get_mut(&src).expect("uplink exists") = busy;
             (depart, pkts.drain(..taken).collect::<Vec<Packet>>())
         };
         let n = accepted.len();
@@ -628,10 +663,12 @@ impl FabricHandle {
                 };
                 let n = pkts.len() as u64;
                 if fabric.nics.contains_key(&dst) {
+                    let now = sim.now();
                     for pkt in &pkts {
                         let link = fabric.links.entry((pkt.src, pkt.dst)).or_default();
                         link.bytes += pkt.wire_size as u64;
                         link.delivered += 1;
+                        fabric.stamp(pkt, Stage::NicDeliver, pkt.dst, now);
                     }
                 }
                 let Some(nic) = fabric.nics.get_mut(&dst) else {
@@ -672,6 +709,7 @@ impl FabricHandle {
                 let link = fabric.links.entry((pkt.src, pkt.dst)).or_default();
                 link.bytes += pkt.wire_size as u64;
                 link.delivered += 1;
+                fabric.stamp(&pkt, Stage::NicDeliver, dst, sim.now());
                 let Some(nic) = fabric.nics.get_mut(&dst) else {
                     return;
                 };

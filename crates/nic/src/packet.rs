@@ -7,6 +7,7 @@
 //! the same layering the paper's stack has.
 
 use bytes::Bytes;
+use snap_sim::trace::TraceContext;
 
 use crate::crc::crc32c;
 
@@ -54,6 +55,10 @@ pub struct Packet {
     pub payload: Bytes,
     /// NIC-computed end-to-end CRC32C of the payload (offload, §3.4).
     pub crc: u32,
+    /// Causal trace context of the op this packet belongs to, if the
+    /// op is being traced. Observation-only: the fabric stamps stage
+    /// records against it but never branches on it.
+    pub trace: Option<TraceContext>,
 }
 
 impl Packet {
@@ -70,6 +75,7 @@ impl Packet {
             wire_size: payload.len() as u32 + Self::HEADER_OVERHEAD,
             payload,
             crc,
+            trace: None,
         }
     }
 
@@ -87,6 +93,7 @@ impl Packet {
             wire_size: payload.len() as u32 + Self::HEADER_OVERHEAD,
             payload,
             crc,
+            trace: None,
         }
     }
 

@@ -15,7 +15,12 @@ use std::rc::Rc;
 
 use snap_nic::packet::QosClass;
 use snap_shm::queue_pair::AppEndpoint;
+use snap_sim::trace::{TraceContext, TraceRecorder};
 use snap_sim::{Nanos, Sim};
+
+/// The command tuple pushed into the engine's command queue: op id, QoS
+/// class, optional causal trace context, and the operation itself.
+pub type PonyCommandTuple = (u64, QosClass, Option<TraceContext>, PonyCommand);
 
 /// An application-level operation command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,18 +138,24 @@ pub enum PonyCompletion {
 
 /// The application-side handle: submit commands, reap completions.
 pub struct PonyClient {
-    endpoint: AppEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>,
+    endpoint: AppEndpoint<PonyCommandTuple, PonyCompletion>,
     /// Wakes the engine after a submit (doorbell / eventfd path).
     wake_engine: Rc<dyn Fn(&mut Sim)>,
     next_op: u64,
     completions: Vec<PonyCompletion>,
+    /// Trace recorder: when installed, each submit allocates a trace
+    /// context (subject to the recorder's sampling policy) and carries
+    /// it through the command tuple.
+    recorder: Option<TraceRecorder>,
+    /// Host this client lives on, stamped into client-side records.
+    host: u32,
 }
 
 impl PonyClient {
     /// Builds a client from the bootstrap products: the app endpoint of
     /// the queue pair and the engine wake callback.
     pub fn new(
-        endpoint: AppEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>,
+        endpoint: AppEndpoint<PonyCommandTuple, PonyCompletion>,
         wake_engine: Rc<dyn Fn(&mut Sim)>,
     ) -> Self {
         PonyClient {
@@ -152,7 +163,16 @@ impl PonyClient {
             wake_engine,
             next_op: 1,
             completions: Vec::new(),
+            recorder: None,
+            host: 0,
         }
+    }
+
+    /// Installs the trace recorder ops are traced into, and the host id
+    /// stamped on client-side records.
+    pub fn set_trace(&mut self, recorder: TraceRecorder, host: u32) {
+        self.recorder = Some(recorder);
+        self.host = host;
     }
 
     /// Submits a transport-class command; returns the operation id its
@@ -183,8 +203,14 @@ impl PonyClient {
     ) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
+        // Allocate the trace context at submit time — the client
+        // enqueue stamp is the root of the op's span tree.
+        let trace = self
+            .recorder
+            .as_ref()
+            .and_then(|r| r.begin(sim.now(), self.host));
         self.endpoint
-            .submit((op, class, cmd))
+            .submit((op, class, trace, cmd))
             .unwrap_or_else(|_| panic!("command queue full (op {op})"));
         (self.wake_engine)(sim);
         op

@@ -35,9 +35,10 @@ use snap_shm::queue_pair::EngineEndpoint;
 use snap_shm::region::{RegionError, RegionRegistry};
 use snap_sim::codec::{DecodeError, Reader, Writer};
 use snap_sim::costs;
+use snap_sim::trace::{Stage, TraceContext, TraceRecorder};
 use snap_sim::{Nanos, Sim};
 
-use crate::client::{OpStatus, PonyCommand, PonyCompletion};
+use crate::client::{OpStatus, PonyCommand, PonyCommandTuple, PonyCompletion};
 use crate::flow::{Accept, Flow, FlowMapper};
 use crate::timely::TimelyConfig;
 use crate::wire::{OpFrame, PonyPacket};
@@ -54,7 +55,7 @@ pub const INITIAL_CREDITS: u32 = 64;
 /// hand the same sessions to the successor engine — the analogue of
 /// transferring fds over the control channel during brownout.
 pub type SessionTable =
-    Rc<RefCell<HashMap<u64, EngineEndpoint<(u64, QosClass, PonyCommand), PonyCompletion>>>>;
+    Rc<RefCell<HashMap<u64, EngineEndpoint<PonyCommandTuple, PonyCompletion>>>>;
 
 /// Callback that re-schedules an engine pass — used by self-arming
 /// pacing/RTO timers.
@@ -137,8 +138,10 @@ struct ConnState {
     local_posted: u32,
     /// Small-message credits available to us as a sender.
     small_credits: u32,
-    /// Sends held back by flow control: (op, stream, len).
-    held: VecDeque<(u64, u32, u64)>,
+    /// Sends held back by flow control: (op, stream, len, trace).
+    /// Trace contexts are in-memory only — they do not survive
+    /// checkpoint/restore (a restored op's trace is simply dropped).
+    held: VecDeque<(u64, u32, u64, Option<TraceContext>)>,
     /// Streams with admitted sends outstanding, serviced round-robin
     /// so streams do not head-of-line block each other (§3.3).
     stream_queue: VecDeque<u32>,
@@ -163,6 +166,9 @@ struct SendMsg {
     /// Next chunk offset to enqueue; the send scheduler advances this
     /// one chunk at a time, interleaving streams.
     next_offset: u64,
+    /// Causal trace context; stamped onto every chunk packet of this
+    /// send. In-memory only (dropped across checkpoint/restore).
+    trace: Option<TraceContext>,
 }
 
 struct RecvMsg {
@@ -185,6 +191,9 @@ struct PendingOp {
     conn: u64,
     session: Option<u64>,
     issued_at: Nanos,
+    /// Causal trace context; stamped onto the request packet and
+    /// finalized when the response completes the op. In-memory only.
+    trace: Option<TraceContext>,
 }
 
 /// The Pony Express engine.
@@ -218,8 +227,16 @@ pub struct PonyEngine {
     /// in-flight sends (held + chunking + unacked). Released as sends
     /// complete, and wholesale on drop (crash/kill path).
     charged_bytes: u64,
+    /// Trace recorder for causal op tracing; shared with clients and
+    /// the fabric. Observation-only — never affects engine behavior.
+    recorder: Option<TraceRecorder>,
+    /// Trace contexts of one-sided responses awaiting transmission:
+    /// op id -> the request's context, consumed when the response
+    /// packet is first generated (a retransmitted response travels
+    /// untraced, which only truncates that op's span tree).
+    resp_traces: HashMap<u64, TraceContext>,
     rx_buf: Vec<Packet>,
-    cmd_buf: Vec<(u64, QosClass, PonyCommand)>,
+    cmd_buf: Vec<PonyCommandTuple>,
     /// Reusable wire-encode scratch: frames encode into this buffer
     /// (capacity persists across packets) and CRC32C is computed over
     /// it before the payload is materialized, so the tx path does no
@@ -262,6 +279,8 @@ impl PonyEngine {
             timer: None,
             admission: None,
             charged_bytes: 0,
+            recorder: None,
+            resp_traces: HashMap::new(),
             rx_buf: Vec::new(),
             cmd_buf: Vec::new(),
             tx_scratch: Writer::new(),
@@ -293,7 +312,7 @@ impl PonyEngine {
             .chain(
                 self.conns
                     .values()
-                    .flat_map(|c| c.held.iter().map(|&(_, _, len)| len)),
+                    .flat_map(|c| c.held.iter().map(|&(_, _, len, _)| len)),
             )
             .sum();
         admission.ensure_container(&self.cfg.container);
@@ -307,6 +326,29 @@ impl PonyEngine {
     /// The admission controller gating this engine, if any.
     pub fn admission(&self) -> Option<&AdmissionController> {
         self.admission.as_ref()
+    }
+
+    /// Installs the trace recorder this engine stamps stage records
+    /// into (engine dequeue, op execution, retransmits, shed/busy
+    /// refusals) and finalizes completed ops against.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Stamps one stage record, if the op is traced and a recorder is
+    /// installed. Pure observation.
+    fn stamp(&self, trace: Option<TraceContext>, stage: Stage, at: Nanos) {
+        if let (Some(ctx), Some(rec)) = (trace, self.recorder.as_ref()) {
+            rec.record(ctx, stage, self.cfg.host, at);
+        }
+    }
+
+    /// Finalizes a traced op: appends the Complete record and assembles
+    /// the span tree. No-op for untraced ops.
+    fn finish_trace(&self, trace: Option<TraceContext>, now: Nanos) {
+        if let (Some(ctx), Some(rec)) = (trace, self.recorder.as_ref()) {
+            rec.finalize(ctx, now, self.cfg.host);
+        }
     }
 
     /// Claims a session: this engine will poll its command queue.
@@ -449,8 +491,19 @@ impl PonyEngine {
     /// Admits a Send command, applying the memory quota (§2.5) and then
     /// flow control (§3.3): small messages consume shared credits,
     /// large ones posted buffers.
-    fn admit_send(&mut self, now: Nanos, op: u64, session: Option<u64>, conn_id: u64, stream: u32, len: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn admit_send(
+        &mut self,
+        now: Nanos,
+        op: u64,
+        session: Option<u64>,
+        conn_id: u64,
+        stream: u32,
+        len: u64,
+        trace: Option<TraceContext>,
+    ) {
         if !self.conns.contains_key(&conn_id) {
+            self.finish_trace(trace, now);
             self.complete(
                 session,
                 PonyCompletion::OpDone {
@@ -470,6 +523,8 @@ impl PonyEngine {
         if let Some(adm) = &self.admission {
             if adm.try_charge(&self.cfg.container, len).is_err() {
                 self.stats.busy_rejected += 1;
+                self.stamp(trace, Stage::Busy, now);
+                self.finish_trace(trace, now);
                 self.complete(
                     session,
                     PonyCompletion::OpDone {
@@ -498,13 +553,23 @@ impl PonyEngine {
             false
         };
         if !admitted {
-            conn.held.push_back((op, stream, len));
+            conn.held.push_back((op, stream, len, trace));
             return;
         }
-        self.start_send(now, op, session, conn_id, stream, len);
+        self.start_send(now, op, session, conn_id, stream, len, trace);
     }
 
-    fn start_send(&mut self, now: Nanos, op: u64, session: Option<u64>, conn_id: u64, stream: u32, len: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn start_send(
+        &mut self,
+        now: Nanos,
+        op: u64,
+        session: Option<u64>,
+        conn_id: u64,
+        stream: u32,
+        len: u64,
+        trace: Option<TraceContext>,
+    ) {
         let mtu = self.cfg.mtu as u64;
         let conn = self.conns.get_mut(&conn_id).expect("admitted conn exists");
         let msg = *conn
@@ -523,6 +588,7 @@ impl PonyEngine {
                 acked_offsets: HashSet::new(),
                 issued_at: now,
                 next_offset: 0,
+                trace,
             },
         );
         // Chunks are enqueued lazily by the round-robin send scheduler
@@ -540,7 +606,10 @@ impl PonyEngine {
     /// head-of-line blocking each other (§3.3).
     fn fill_flows(&mut self, now: Nanos) {
         const OUTQ_TARGET: usize = 64;
-        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        // Sorted so the top-up order (and hence intra-train packet
+        // order) is identical across same-seed runs.
+        let mut conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        conn_ids.sort_unstable();
         for conn_id in conn_ids {
             while let Some(conn) = self.conns.get_mut(&conn_id) {
                 if conn.stream_queue.is_empty() {
@@ -607,7 +676,7 @@ impl PonyEngine {
     fn retry_held(&mut self, now: Nanos, conn_id: u64) {
         loop {
             let Some(conn) = self.conns.get_mut(&conn_id) else { return };
-            let Some(&(op, stream, len)) = conn.held.front() else { return };
+            let Some(&(op, stream, len, trace)) = conn.held.front() else { return };
             let ok = if len <= SMALL_MSG_BYTES {
                 if conn.small_credits > 0 {
                     conn.small_credits -= 1;
@@ -626,7 +695,7 @@ impl PonyEngine {
             }
             let session = conn.session;
             conn.held.pop_front();
-            self.start_send(now, op, session, conn_id, stream, len);
+            self.start_send(now, op, session, conn_id, stream, len, trace);
         }
     }
 
@@ -636,11 +705,15 @@ impl PonyEngine {
         now: Nanos,
         op: u64,
         class: QosClass,
+        trace: Option<TraceContext>,
         cmd: PonyCommand,
         session: u64,
     ) -> Nanos {
         self.stats.commands += 1;
         let session = Some(session);
+        // The gap from the client-enqueue stamp to this one is the op's
+        // engine scheduling delay — the quantity §5's modes trade off.
+        self.stamp(trace, Stage::EngineDequeue, now);
         // Pressure gate (§2.5): under Soft pressure best-effort work is
         // shed; under Hard pressure transport-class work is refused
         // with Busy (back-pressure — the op never entered the
@@ -666,9 +739,12 @@ impl PonyEngine {
                     if let Some(adm) = &self.admission {
                         adm.record_shed(&self.cfg.container);
                     }
+                    self.stamp(trace, Stage::Shed, now);
                 } else {
                     self.stats.busy_rejected += 1;
+                    self.stamp(trace, Stage::Busy, now);
                 }
+                self.finish_trace(trace, now);
                 self.complete(
                     session,
                     PonyCompletion::OpDone {
@@ -683,7 +759,7 @@ impl PonyEngine {
         }
         match cmd {
             PonyCommand::Send { conn, stream, len } => {
-                self.admit_send(now, op, session, conn, stream, len);
+                self.admit_send(now, op, session, conn, stream, len, trace);
             }
             PonyCommand::Read {
                 conn,
@@ -691,7 +767,7 @@ impl PonyEngine {
                 offset,
                 len,
             } => {
-                self.initiate(now, op, session, conn, OpKind::Read, OpFrame::ReadReq {
+                self.initiate(now, op, session, conn, OpKind::Read, trace, OpFrame::ReadReq {
                     op,
                     region,
                     offset,
@@ -704,7 +780,7 @@ impl PonyEngine {
                 offset,
                 data,
             } => {
-                self.initiate(now, op, session, conn, OpKind::Write, OpFrame::WriteReq {
+                self.initiate(now, op, session, conn, OpKind::Write, trace, OpFrame::WriteReq {
                     op,
                     region,
                     offset,
@@ -725,6 +801,7 @@ impl PonyEngine {
                     session,
                     conn,
                     OpKind::IndirectRead,
+                    trace,
                     OpFrame::IndirectReadReq {
                         op,
                         table,
@@ -739,7 +816,7 @@ impl PonyEngine {
                 key,
                 len,
             } => {
-                self.initiate(now, op, session, conn, OpKind::ScanRead, OpFrame::ScanReadReq {
+                self.initiate(now, op, session, conn, OpKind::ScanRead, trace, OpFrame::ScanReadReq {
                     op,
                     region,
                     key,
@@ -755,6 +832,7 @@ impl PonyEngine {
                     }
                 }
                 // Buffer posts complete immediately.
+                self.finish_trace(trace, now);
                 self.complete(
                     session,
                     PonyCompletion::OpDone {
@@ -769,6 +847,7 @@ impl PonyEngine {
         Nanos(costs::PONY_PER_OP_NS)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn initiate(
         &mut self,
         now: Nanos,
@@ -776,9 +855,11 @@ impl PonyEngine {
         session: Option<u64>,
         conn_id: u64,
         kind: OpKind,
+        trace: Option<TraceContext>,
         frame: OpFrame,
     ) {
         let Some(conn) = self.conns.get(&conn_id) else {
+            self.finish_trace(trace, now);
             self.complete(
                 session,
                 PonyCompletion::OpDone {
@@ -798,6 +879,7 @@ impl PonyEngine {
                 conn: conn_id,
                 session,
                 issued_at: now,
+                trace,
             },
         );
         self.flows
@@ -809,7 +891,13 @@ impl PonyEngine {
     /// Executes a one-sided request against local regions, entirely in
     /// the engine (§3.2: "one-sided operations do not involve any
     /// application code on the destination"). Returns the CPU charged.
-    fn serve_onesided(&mut self, now: Nanos, flow_id: u64, frame: OpFrame) -> Nanos {
+    fn serve_onesided(
+        &mut self,
+        now: Nanos,
+        flow_id: u64,
+        frame: OpFrame,
+        trace: Option<TraceContext>,
+    ) -> Nanos {
         let mut cpu = Nanos(costs::PONY_ONESIDED_READ_NS);
         let (op, status, data) = match frame {
             OpFrame::ReadReq {
@@ -906,6 +994,13 @@ impl PonyEngine {
             _ => unreachable!("serve_onesided called with non-request frame"),
         };
         self.stats.onesided_served += 1;
+        // The execution stamp closes the remote-dequeue interval; the
+        // context is parked for the response packet's return-path
+        // stamps.
+        self.stamp(trace, Stage::OpExecute, now);
+        if let Some(ctx) = trace {
+            self.resp_traces.insert(op, ctx);
+        }
         self.flows
             .get_mut(&flow_id)
             .expect("request came from this flow")
@@ -931,7 +1026,15 @@ impl PonyEngine {
     }
 
     /// Handles a frame delivered by the flow layer; returns CPU charged.
-    fn handle_frame(&mut self, now: Nanos, flow_id: u64, frame: OpFrame) -> Nanos {
+    /// `trace` is the wire-carried context of the packet that delivered
+    /// the frame (present only on v6 flows with tracing enabled).
+    fn handle_frame(
+        &mut self,
+        now: Nanos,
+        flow_id: u64,
+        frame: OpFrame,
+        trace: Option<TraceContext>,
+    ) -> Nanos {
         match frame {
             OpFrame::MsgChunk {
                 conn,
@@ -979,6 +1082,8 @@ impl PonyEngine {
                 };
                 if let Some(pending) = self.pending_ops.remove(&op) {
                     self.stats.ops_completed += 1;
+                    // The op is done: assemble its cross-host span tree.
+                    self.finish_trace(pending.trace, now);
                     self.complete(
                         pending.session,
                         PonyCompletion::OpDone {
@@ -1001,7 +1106,7 @@ impl PonyEngine {
             req @ (OpFrame::ReadReq { .. }
             | OpFrame::WriteReq { .. }
             | OpFrame::IndirectReadReq { .. }
-            | OpFrame::ScanReadReq { .. }) => self.serve_onesided(now, flow_id, req),
+            | OpFrame::ScanReadReq { .. }) => self.serve_onesided(now, flow_id, req, trace),
             OpFrame::AckOnly => Nanos::ZERO,
         }
     }
@@ -1036,7 +1141,7 @@ impl PonyEngine {
 
     /// Processes seqs newly acked by the peer: completes sends whose
     /// chunks are all acknowledged, returning small-message credits.
-    fn process_acked(&mut self, acked: Vec<u64>, flow_id: u64) {
+    fn process_acked(&mut self, now: Nanos, acked: Vec<u64>, flow_id: u64) {
         for seq in acked {
             let Some((conn, stream, msg, offset)) = self.seq_chunks.remove(&(flow_id, seq))
             else {
@@ -1064,6 +1169,10 @@ impl PonyEngine {
                     }
                     self.retry_held(send.issued_at, conn);
                 }
+                // All chunks acked: the send op is done. The trailing
+                // interval (last data tx to the ack's arrival) lands in
+                // the Complete stage since acks travel untraced.
+                self.finish_trace(send.trace, now);
                 self.complete(
                     send.session,
                     PonyCompletion::OpDone {
@@ -1090,14 +1199,23 @@ impl PonyEngine {
         let max = budget.min(slots);
         let mut batch = std::mem::take(&mut self.tx_batch);
         batch.clear();
-        let flow_ids: Vec<u64> = self.flows.keys().copied().collect();
+        // Sorted: HashMap key order varies run to run, and per-packet
+        // positions inside the staged train are observable (per-packet
+        // uplink/egress serialization stamps), even though train-level
+        // event times only depend on the max.
+        let mut flow_ids: Vec<u64> = self.flows.keys().copied().collect();
+        flow_ids.sort_unstable();
         'outer: for fid in flow_ids {
             loop {
                 if batch.len() >= max {
                     break 'outer;
                 }
                 let flow = self.flows.get_mut(&fid).expect("listed");
-                let Some(pkt) = flow.produce(now) else { break };
+                let rtx_before = flow.stats().retransmits;
+                let Some(mut pkt) = flow.produce(now) else { break };
+                // A retransmit counter bump during this produce() call
+                // means THIS packet is the retransmission.
+                let is_rtx = flow.stats().retransmits > rtx_before;
                 // Track chunk seqs for send-completion accounting.
                 if let OpFrame::MsgChunk {
                     conn,
@@ -1109,6 +1227,29 @@ impl PonyEngine {
                 {
                     self.seq_chunks
                         .insert((fid, pkt.seq), (conn, stream, msg, offset));
+                }
+                // Attribute the packet to the op it carries and stamp
+                // the context into the wire header (v6 flows only).
+                pkt.trace = match &pkt.frame {
+                    OpFrame::MsgChunk {
+                        conn, stream, msg, ..
+                    } => self
+                        .send_msgs
+                        .get(&(*conn, *stream, *msg))
+                        .and_then(|s| s.trace),
+                    OpFrame::ReadReq { op, .. }
+                    | OpFrame::WriteReq { op, .. }
+                    | OpFrame::IndirectReadReq { op, .. }
+                    | OpFrame::ScanReadReq { op, .. } => {
+                        self.pending_ops.get(op).and_then(|p| p.trace)
+                    }
+                    // Consumed on first generation; a retransmitted
+                    // response travels untraced.
+                    OpFrame::OneSidedResp { op, .. } => self.resp_traces.remove(op),
+                    OpFrame::BufferPost { .. } | OpFrame::AckOnly => None,
+                };
+                if is_rtx {
+                    self.stamp(pkt.trace, Stage::Retransmit, now);
                 }
                 let (remote_host, remote_engine_key) =
                     *self.flow_peers.get(&fid).expect("flow has peer");
@@ -1122,6 +1263,8 @@ impl PonyEngine {
                 let mut nic_pkt =
                     Packet::with_precomputed_crc(self.cfg.host, remote_host, payload, crc);
                 nic_pkt.wire_size = pkt.wire_size() + Packet::HEADER_OVERHEAD;
+                // The fabric stamps its hop records against this.
+                nic_pkt.trace = pkt.trace;
                 batch.push(
                     nic_pkt
                         .with_qos(QosClass::Transport)
@@ -1240,10 +1383,14 @@ impl Engine for PonyEngine {
                 self.flow_peers.insert(flow_id, (pkt.src, flow_id >> 32));
             }
             let flow = self.flows.get_mut(&flow_id).expect("just ensured");
+            let ptrace = ppkt.trace;
             let (accept, acked) = flow.on_packet_tracked(&ppkt, now);
-            self.process_acked(acked, flow_id);
+            self.process_acked(now, acked, flow_id);
             if let Accept::Deliver(frame) = accept {
-                cpu += self.handle_frame(now, flow_id, frame);
+                // A traced packet reached this engine's poll loop: the
+                // remote-dequeue stamp (NIC delivery -> engine pickup).
+                self.stamp(ptrace, Stage::RemoteDequeue, now);
+                cpu += self.handle_frame(now, flow_id, frame, ptrace);
             }
         }
         self.rx_buf = rx;
@@ -1261,9 +1408,9 @@ impl Engine for PonyEngine {
                     ep.poll_commands(&mut cmds, self.cfg.poll_batch);
                 }
             }
-            for (op, class, cmd) in cmds.drain(..) {
+            for (op, class, trace, cmd) in cmds.drain(..) {
                 work = true;
-                cpu += self.handle_command(now, op, class, cmd, sid);
+                cpu += self.handle_command(now, op, class, trace, cmd, sid);
             }
             self.cmd_buf = cmds;
         }
@@ -1365,7 +1512,9 @@ impl Engine for PonyEngine {
                 .u32(c.local_posted)
                 .u32(c.small_credits);
             w.u32(c.held.len() as u32);
-            for (op, stream, len) in &c.held {
+            // Trace contexts are deliberately not checkpointed: a
+            // restored op continues untraced.
+            for (op, stream, len, _trace) in &c.held {
                 w.u64(*op).u32(*stream).u64(*len);
             }
             // Pending sends, flattened as (stream, msg) pairs; restore
@@ -1541,6 +1690,7 @@ impl PonyEngine {
                     r.u64()?,
                     r.u32()?,
                     r.u64()?,
+                    None,
                 ));
             }
             let mut per_stream: HashMap<u32, VecDeque<u64>> = HashMap::new();
@@ -1630,6 +1780,7 @@ impl PonyEngine {
                     acked_offsets,
                     issued_at,
                     next_offset,
+                    trace: None,
                 },
             );
         }
@@ -1680,6 +1831,7 @@ impl PonyEngine {
                     conn,
                     session: has_session.then_some(session),
                     issued_at,
+                    trace: None,
                 },
             );
         }

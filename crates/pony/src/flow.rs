@@ -216,6 +216,7 @@ impl Flow {
             seq,
             cum_ack: self.rcv_cum,
             sacks: self.rcv_sacks.iter().take(16).copied().collect(),
+            trace: None,
             frame,
         }
     }
@@ -227,6 +228,7 @@ impl Flow {
             seq,
             cum_ack: self.rcv_cum,
             sacks: self.rcv_sacks.iter().take(16).copied().collect(),
+            trace: None,
             frame,
         }
     }
@@ -433,6 +435,7 @@ impl Flow {
             seq: 0,
             cum_ack: 0,
             sacks: vec![],
+            trace: None,
             frame: f.clone(),
         }
         .encode()

@@ -32,6 +32,7 @@ use snap_nic::packet::HostId;
 use snap_shm::queue_pair::QueuePair;
 use snap_shm::region::RegionRegistry;
 use snap_sim::codec::{Reader, Writer};
+use snap_sim::trace::TraceRecorder;
 use snap_sim::Sim;
 
 use crate::client::PonyClient;
@@ -137,6 +138,11 @@ pub struct PonyModule {
     /// this module creates — including restart/upgrade successors — is
     /// gated by it.
     admission: Option<AdmissionController>,
+    /// Host-wide trace recorder. When set, engines created by this
+    /// module (and restart/upgrade successors) stamp trace stage
+    /// records, and clients bootstrapped by [`PonyModule::open_session`]
+    /// allocate trace contexts at submit.
+    recorder: Option<TraceRecorder>,
     next_session: u64,
     next_key: u64,
     next_queue: u16,
@@ -176,6 +182,7 @@ impl PonyModule {
             engines: HashMap::new(),
             queue_owner,
             admission: None,
+            recorder: None,
             next_session: 1,
             next_key: (host as u64) << 16 | 1,
             next_queue: 0,
@@ -209,6 +216,24 @@ impl PonyModule {
         self.admission.as_ref()
     }
 
+    /// Installs the host-wide trace recorder. Engines created afterwards
+    /// (and their restart/upgrade successors) stamp stage records into
+    /// it; engines already running are wired retroactively. Clients
+    /// returned by later [`PonyModule::open_session`] calls allocate
+    /// trace contexts at submit time.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        for &id in self.engines.values() {
+            let rec = recorder.clone();
+            let _ = with_pony_engine(&self.group, id, move |e| e.set_recorder(rec));
+        }
+        self.recorder = Some(recorder);
+    }
+
+    /// The host-wide trace recorder, if one was installed.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
     /// Creates an application-exclusive engine (§3.1: "applications
     /// using Pony Express can either request their own exclusive
     /// engines, or can use a set of pre-loaded shared engines").
@@ -233,10 +258,14 @@ impl PonyModule {
         // engine was just added, so this cannot miss.
         let wake = self.group.wake_handle(id);
         let admission = self.admission.clone();
+        let recorder = self.recorder.clone();
         let _ = with_pony_engine(&self.group, id, |e| {
             e.set_wake(wake.clone());
             if let Some(adm) = admission {
                 e.set_admission(adm);
+            }
+            if let Some(rec) = recorder {
+                e.set_recorder(rec);
             }
         });
         self.queue_owner.borrow_mut().insert(queue, id);
@@ -322,7 +351,11 @@ impl PonyModule {
             entry.session = Some(sid);
         }
         let wake = self.group.wake_handle(engine_id);
-        Ok(PonyClient::new(app_ep, wake))
+        let mut client = PonyClient::new(app_ep, wake);
+        if let Some(rec) = &self.recorder {
+            client.set_trace(rec.clone(), self.host);
+        }
+        Ok(client)
     }
 
     /// Connects a local application to a remote one, negotiating the
@@ -397,6 +430,7 @@ impl PonyModule {
         let sessions = self.sessions.clone();
         let group = self.group.clone();
         let admission = self.admission.clone();
+        let recorder = self.recorder.clone();
         Ok(Box::new(move |state, sim| {
             let now = sim.now();
             let mut engine =
@@ -405,6 +439,9 @@ impl PonyModule {
             engine.set_wake(group.wake_handle(engine_id));
             if let Some(adm) = admission {
                 engine.set_admission(adm);
+            }
+            if let Some(rec) = recorder {
+                engine.set_recorder(rec);
             }
             Ok(Box::new(engine))
         }))
@@ -427,6 +464,7 @@ impl PonyModule {
         let owned = self.sessions_by_engine.clone();
         let group = self.group.clone();
         let admission = self.admission.clone();
+        let recorder = self.recorder.clone();
         Ok(Rc::new(move |state: Vec<u8>, sim: &mut Sim| {
             let now = sim.now();
             let mut engine = match PonyEngine::restore(
@@ -456,6 +494,9 @@ impl PonyModule {
             engine.set_wake(group.wake_handle(engine_id));
             if let Some(adm) = admission.clone() {
                 engine.set_admission(adm);
+            }
+            if let Some(rec) = recorder.clone() {
+                engine.set_recorder(rec);
             }
             Box::new(engine)
         }))

@@ -14,11 +14,14 @@
 
 use bytes::Bytes;
 use snap_sim::codec::{DecodeError, Reader, Writer};
+use snap_sim::trace::TraceContext;
 
 /// Lowest wire version this build still speaks.
 pub const MIN_WIRE_VERSION: u16 = 3;
-/// Highest (current) wire version of this build.
-pub const MAX_WIRE_VERSION: u16 = 5;
+/// Highest (current) wire version of this build. Version 6 added the
+/// optional trace-context field; peers negotiated to 5 or below simply
+/// never carry trace contexts (cross-host spans degrade to local-only).
+pub const MAX_WIRE_VERSION: u16 = 6;
 
 /// Negotiates the version to use with a peer advertising
 /// `[peer_min, peer_max]`; the "least common denominator" rule.
@@ -156,6 +159,12 @@ pub struct PonyPacket {
     pub cum_ack: u64,
     /// Selective acks above `cum_ack` (bounded list).
     pub sacks: Vec<u64>,
+    /// Causal trace context of the op this packet belongs to. Only
+    /// carried on the wire at version >= 6 (one flag byte, plus 13
+    /// bytes when present); encoding at an older negotiated version
+    /// silently drops it, which is the compatibility story with
+    /// un-traced peers.
+    pub trace: Option<TraceContext>,
     /// The operation frame.
     pub frame: OpFrame,
 }
@@ -179,6 +188,17 @@ impl PonyPacket {
         w.u8(self.sacks.len() as u8);
         for s in &self.sacks {
             w.u64(*s);
+        }
+        if self.version >= 6 {
+            match &self.trace {
+                Some(t) => {
+                    w.u8(1);
+                    w.u64(t.trace_id).u32(t.parent_span).u8(t.sampled as u8);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
         }
         w.u8(self.frame.tag());
         match &self.frame {
@@ -242,7 +262,11 @@ impl PonyPacket {
     /// arithmetically — no allocation, no second encoding pass.
     pub fn encoded_len(&self) -> usize {
         // version + flow + seq + cum_ack + sack count + frame tag.
-        let header = 2 + 8 + 8 + 8 + 1 + 8 * self.sacks.len() + 1;
+        let mut header = 2 + 8 + 8 + 8 + 1 + 8 * self.sacks.len() + 1;
+        if self.version >= 6 {
+            // Trace flag byte + (trace_id, parent_span, sampled).
+            header += 1 + if self.trace.is_some() { 13 } else { 0 };
+        }
         let body = match &self.frame {
             OpFrame::MsgChunk { .. } => 40,
             OpFrame::ReadReq { .. } | OpFrame::ScanReadReq { .. } => 28,
@@ -292,6 +316,15 @@ impl PonyPacket {
         for _ in 0..nsack {
             sacks.push(r.u64()?);
         }
+        let trace = if version >= 6 && r.u8()? != 0 {
+            Some(TraceContext {
+                trace_id: r.u64()?,
+                parent_span: r.u32()?,
+                sampled: r.u8()? != 0,
+            })
+        } else {
+            None
+        };
         let tag = r.u8()?;
         let frame = match tag {
             0 => OpFrame::MsgChunk {
@@ -354,6 +387,7 @@ impl PonyPacket {
             seq,
             cum_ack,
             sacks,
+            trace,
             frame,
         })
     }
@@ -383,6 +417,7 @@ mod tests {
             seq: 1000,
             cum_ack: 998,
             sacks: vec![1002, 1004],
+            trace: None,
             frame,
         };
         let buf = pkt.encode();
@@ -446,6 +481,7 @@ mod tests {
             seq: 1,
             cum_ack: 0,
             sacks: vec![],
+            trace: None,
             frame: OpFrame::WriteReq {
                 op: 1,
                 region: 2,
@@ -469,14 +505,64 @@ mod tests {
     fn version_negotiation_picks_highest_common() {
         assert_eq!(negotiate_version(1, 4), Some(4));
         assert_eq!(negotiate_version(3, 5), Some(5));
-        assert_eq!(negotiate_version(4, 9), Some(5));
+        assert_eq!(negotiate_version(4, 9), Some(6));
         assert_eq!(negotiate_version(5, 5), Some(5));
+        assert_eq!(negotiate_version(6, 9), Some(6));
     }
 
     #[test]
     fn version_negotiation_fails_when_disjoint() {
-        assert_eq!(negotiate_version(6, 9), None);
+        assert_eq!(negotiate_version(7, 9), None);
         assert_eq!(negotiate_version(0, 2), None);
+    }
+
+    #[test]
+    fn trace_context_roundtrips_at_v6() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0042,
+            parent_span: 7,
+            sampled: true,
+        };
+        for trace in [None, Some(ctx)] {
+            let pkt = PonyPacket {
+                version: 6,
+                flow: 42,
+                seq: 10,
+                cum_ack: 9,
+                sacks: vec![12],
+                trace,
+                frame: OpFrame::AckOnly,
+            };
+            let buf = pkt.encode();
+            assert_eq!(buf.len(), pkt.encoded_len(), "encoded_len is exact");
+            assert_eq!(PonyPacket::decode(&buf).expect("decodes"), pkt);
+        }
+    }
+
+    #[test]
+    fn trace_context_dropped_below_v6() {
+        // A packet handed a trace context but encoded at the old
+        // negotiated version produces exactly the pre-v6 byte stream —
+        // the compatibility contract with un-traced peers.
+        let mut pkt = PonyPacket {
+            version: 5,
+            flow: 1,
+            seq: 1,
+            cum_ack: 0,
+            sacks: vec![],
+            trace: Some(TraceContext {
+                trace_id: 99,
+                parent_span: 0,
+                sampled: true,
+            }),
+            frame: OpFrame::AckOnly,
+        };
+        let with_trace = pkt.encode();
+        assert_eq!(with_trace.len(), pkt.encoded_len());
+        pkt.trace = None;
+        assert_eq!(pkt.encode(), with_trace, "v5 bytes ignore the trace field");
+        let decoded = PonyPacket::decode(&with_trace).expect("decodes");
+        assert_eq!(decoded.trace, None, "trace never survives a v5 hop");
     }
 
     #[test]
@@ -487,6 +573,7 @@ mod tests {
             seq: 1,
             cum_ack: 0,
             sacks: vec![],
+            trace: None,
             frame: OpFrame::MsgChunk {
                 conn: 1,
                 stream: 0,
@@ -508,6 +595,7 @@ mod tests {
             seq: 1,
             cum_ack: 0,
             sacks: vec![],
+            trace: None,
             frame: OpFrame::AckOnly,
         };
         let mut buf = pkt.encode();
@@ -524,6 +612,7 @@ mod tests {
             seq: 1,
             cum_ack: 0,
             sacks: vec![],
+            trace: None,
             frame: OpFrame::AckOnly,
         };
         let mut buf = pkt.encode();

@@ -37,8 +37,10 @@ pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventHandle, Sim};
 pub use rng::Rng;
 pub use stats::Histogram;
 pub use time::Nanos;
+pub use trace::{TraceContext, TraceRecorder};

@@ -205,8 +205,12 @@ impl Histogram {
             }
         }
         if out.count > 0 {
-            out.min = out.min.max(self.min);
-            out.max = out.max.min(self.max);
+            // Clamp both ends into the cumulative range as an interval:
+            // a bucket midpoint can sit just outside [min, max] (e.g. a
+            // single value 202 lives in the bucket whose midpoint is
+            // 200), and clamping the ends independently would cross.
+            out.min = out.min.clamp(self.min, self.max);
+            out.max = out.max.clamp(self.min, self.max);
         }
         out
     }
@@ -227,10 +231,11 @@ impl Histogram {
             return "n=0".to_string();
         }
         format!(
-            "n={} mean={:.1}us p50={:.1}us p99={:.1}us p999={:.1}us max={:.1}us",
+            "n={} mean={:.1}us p50={:.1}us p90={:.1}us p99={:.1}us p999={:.1}us max={:.1}us",
             self.count,
             self.mean() / 1e3,
             self.median() as f64 / 1e3,
+            self.quantile(0.90) as f64 / 1e3,
             self.p99() as f64 / 1e3,
             self.quantile(0.999) as f64 / 1e3,
             self.max() as f64 / 1e3,
@@ -503,5 +508,6 @@ mod tests {
         let s = h.latency_summary();
         assert!(s.contains("n=1"), "{s}");
         assert!(s.contains("mean=10.0us"), "{s}");
+        assert!(s.contains("p90="), "{s}");
     }
 }

@@ -120,11 +120,12 @@ impl Snapshot {
                     } else {
                         let _ = write!(
                             out,
-                            "{{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \
-                             \"min\": {}, \"max\": {}}}",
+                            "{{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+                             \"p99\": {}, \"min\": {}, \"max\": {}}}",
                             h.count(),
                             h.mean(),
                             h.median(),
+                            h.quantile(0.90),
                             h.p99(),
                             h.min(),
                             h.max(),

@@ -45,13 +45,17 @@
 //! | `upgrade.{blackout,brownout}` | per-engine upgrade histograms (ns) |
 //! | `upgrade.{engines,rollbacks}` | upgrade outcome counters |
 //! | `span.<scope>.<op>` | span latency histograms (ns) |
+//! | `sched.<label>.<mode>.delay` | engine-group scheduling-delay histogram (ns) |
+//! | `telemetry.<label>.trace_drops` | trace ring-buffer evictions |
 
 pub mod export;
 pub mod module;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use export::{Metric, Snapshot};
 pub use module::{StatsConfig, StatsModule};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry, ScopedRegistry};
 pub use span::{Span, TraceEvent, TraceLog, Tracer};
+pub use trace::{render_trace, TraceModule};

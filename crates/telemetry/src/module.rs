@@ -45,8 +45,11 @@ use snap_pony::engine::PonyStats;
 use snap_pony::PonyEngine;
 use snap_sim::{event, Nanos, Sim};
 
+use snap_sim::stats::Histogram;
+
 use crate::export::Snapshot;
 use crate::registry::Registry;
+use crate::span::TraceLog;
 
 /// Stats-export tuning.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +115,19 @@ struct AdmissionWatch {
     next_seq: u64,
 }
 
+struct GroupWatch {
+    label: String,
+    group: GroupHandle,
+    /// Last cumulative scheduling-delay histogram, for interval diffs.
+    last: Histogram,
+}
+
+struct TraceLogWatch {
+    label: String,
+    log: TraceLog,
+    last_dropped: u64,
+}
+
 struct Inner {
     cfg: StatsConfig,
     engines: Vec<EngineWatch>,
@@ -119,6 +135,8 @@ struct Inner {
     supervisors: Vec<SupervisorWatch>,
     upgrades: Vec<UpgradeWatch>,
     admissions: Vec<AdmissionWatch>,
+    groups: Vec<GroupWatch>,
+    trace_logs: Vec<TraceLogWatch>,
     running: bool,
 }
 
@@ -142,6 +160,8 @@ impl StatsModule {
                 supervisors: Vec::new(),
                 upgrades: Vec::new(),
                 admissions: Vec::new(),
+                groups: Vec::new(),
+                trace_logs: Vec::new(),
                 running: false,
             })),
         }
@@ -219,6 +239,30 @@ impl StatsModule {
         });
     }
 
+    /// Watches an engine group's scheduling-delay distribution: each
+    /// poll folds the window's wake delays into
+    /// `sched.<label>.<mode>.delay` (mode is the group's scheduling
+    /// mode — `dedicated`, `spreading` or `compacting` — so Fig. 3's
+    /// latency/CPU trade-off reads directly off the metric name).
+    pub fn watch_group(&self, label: &str, group: GroupHandle) {
+        self.inner.borrow_mut().groups.push(GroupWatch {
+            label: label.to_string(),
+            group,
+            last: Histogram::new(),
+        });
+    }
+
+    /// Watches a trace ring buffer (a span [`TraceLog`] or the causal
+    /// trace recorder's retained ring via an adapter): eviction counts
+    /// surface as `telemetry.<label>.trace_drops`.
+    pub fn watch_trace_log(&self, label: &str, log: TraceLog) {
+        self.inner.borrow_mut().trace_logs.push(TraceLogWatch {
+            label: label.to_string(),
+            log,
+            last_dropped: 0,
+        });
+    }
+
     /// Starts the periodic poll loop (first tick one period from now).
     pub fn start(&self, sim: &mut Sim) {
         let period = {
@@ -269,6 +313,12 @@ impl StatsModule {
         }
         for w in &mut inner.admissions {
             poll_admission(&self.registry, w);
+        }
+        for w in &mut inner.groups {
+            poll_group(&self.registry, w);
+        }
+        for w in &mut inner.trace_logs {
+            poll_trace_log(&self.registry, w);
         }
         self.registry.counter("stats.polls").inc();
     }
@@ -512,6 +562,24 @@ fn poll_admission(registry: &Registry, w: &mut AdmissionWatch) {
         .counter("accounting_errors")
         .add(errors.saturating_sub(w.last_errors));
     w.last_errors = errors;
+}
+
+fn poll_group(registry: &Registry, w: &mut GroupWatch) {
+    let cur = w.group.sched_delay_histogram();
+    let window = cur.diff(&w.last);
+    if !window.is_empty() {
+        let name = format!("sched.{}.{}.delay", w.label, w.group.mode_label());
+        registry.histogram(&name).merge_from(&window);
+    }
+    w.last = cur;
+}
+
+fn poll_trace_log(registry: &Registry, w: &mut TraceLogWatch) {
+    let dropped = w.log.dropped();
+    registry
+        .counter(&format!("telemetry.{}.trace_drops", w.label))
+        .add(dropped.saturating_sub(w.last_dropped));
+    w.last_dropped = dropped;
 }
 
 impl Module for StatsModule {

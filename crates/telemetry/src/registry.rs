@@ -79,6 +79,12 @@ impl HistogramHandle {
     pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
         f(&self.0.borrow())
     }
+
+    /// Merges another histogram's buckets into this metric (bulk fold
+    /// of an interval diff, e.g. a group's scheduling-delay window).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.0.borrow_mut().merge(other);
+    }
 }
 
 #[derive(Default)]

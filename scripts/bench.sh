@@ -5,6 +5,7 @@
 #   bench.sh pr2 [out]  — datapath batching only (default BENCH_pr2.json)
 #   bench.sh pr3 [out]  — telemetry overhead only (default BENCH_pr3.json)
 #   bench.sh pr4 [out]  — admission overhead only (default BENCH_pr4.json)
+#   bench.sh pr5 [out]  — trace overhead only (default BENCH_pr5.json)
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
@@ -13,6 +14,9 @@
 # pr4: the same workload with admission control disabled vs enforcing
 #      under unlimited quotas; enforcement must be invisible to the
 #      modeled schedule and within 3% on wall-clock.
+# pr5: the same workload at trace sampling disabled/0%/1%/100%; with
+#      sampling off the modeled schedule must match the untraced run
+#      exactly, and the rate itself must never steer the model.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -38,11 +42,17 @@ run_pr4() {
     cargo run --release -q -p snap-bench --bin bench_isolation "${1:-BENCH_pr4.json}"
 }
 
+run_pr5() {
+    cargo build --release -p snap-bench --bin bench_trace
+    cargo run --release -q -p snap-bench --bin bench_trace "${1:-BENCH_pr5.json}"
+}
+
 case "$mode" in
     all)
         run_pr2
         run_pr3
         run_pr4
+        run_pr5
         ;;
     pr2)
         run_pr2 "${2:-}"
@@ -52,6 +62,9 @@ case "$mode" in
         ;;
     pr4)
         run_pr4 "${2:-}"
+        ;;
+    pr5)
+        run_pr5 "${2:-}"
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

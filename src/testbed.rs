@@ -23,8 +23,9 @@ use snap_sched::machine::Machine;
 use snap_shm::account::{CpuAccountant, MemoryAccountant};
 use snap_shm::region::RegionRegistry;
 use snap_sim::fault::{FaultEvent, FaultPlan};
+use snap_sim::trace::TraceRecorder;
 use snap_sim::{Nanos, Sim};
-use snap_telemetry::{StatsConfig, StatsModule};
+use snap_telemetry::{StatsConfig, StatsModule, TraceModule};
 use snap_tcp::stack::{TcpConfig, TcpHost};
 
 /// Testbed construction parameters.
@@ -47,6 +48,12 @@ pub struct TestbedConfig {
     /// enabling this alone changes no admission decisions — set
     /// policies (or inject memory-pressure faults) to constrain them.
     pub admission: bool,
+    /// Head-sampling rate of the causal trace layer, in parts per
+    /// million of ops (`1_000_000` traces everything, `0` disables
+    /// tracing entirely). Sampling decisions hash off the master seed
+    /// and never touch the simulation RNG streams, so any rate leaves
+    /// modeled time byte-identical.
+    pub trace_sample_ppm: u32,
 }
 
 impl Default for TestbedConfig {
@@ -59,6 +66,7 @@ impl Default for TestbedConfig {
             loss: 0.0,
             seed: 42,
             admission: false,
+            trace_sample_ppm: 0,
         }
     }
 }
@@ -94,6 +102,8 @@ pub struct Testbed {
     pub hosts: Vec<TestHost>,
     /// The fleet directory.
     pub net: PonyNetHandle,
+    /// The rack-wide trace recorder, when tracing is enabled.
+    pub recorder: Option<TraceRecorder>,
     cfg: TestbedConfig,
 }
 
@@ -107,6 +117,13 @@ impl Testbed {
         });
         let net = new_net();
         let mut sim = Sim::new();
+        // One recorder spans the rack: it is the distributed-tracing
+        // backend, with cross-host span assembly free in simulation.
+        let recorder = (cfg.trace_sample_ppm > 0)
+            .then(|| TraceRecorder::new(cfg.seed, cfg.trace_sample_ppm, 4096));
+        if let Some(rec) = &recorder {
+            fabric.set_recorder(rec.clone());
+        }
         let mut hosts = Vec::with_capacity(cfg.hosts);
         for h in 0..cfg.hosts {
             let id = fabric.add_host(NicConfig {
@@ -137,6 +154,9 @@ impl Testbed {
                 module.set_admission(adm.clone());
                 adm
             });
+            if let Some(rec) = &recorder {
+                module.set_recorder(rec.clone());
+            }
             hosts.push(TestHost {
                 id,
                 machine,
@@ -153,8 +173,32 @@ impl Testbed {
             fabric,
             hosts,
             net,
+            recorder,
             cfg,
         }
+    }
+
+    /// A two-host testbed tracing every op — the quickest start for
+    /// trace experiments.
+    pub fn traced_pair() -> Self {
+        Self::new(TestbedConfig {
+            trace_sample_ppm: snap_sim::trace::TRACE_SAMPLE_SCALE,
+            ..TestbedConfig::default()
+        })
+    }
+
+    /// A [`TraceModule`] over the rack's trace recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the testbed was built with tracing disabled
+    /// ([`TestbedConfig::trace_sample_ppm`] of zero).
+    pub fn trace_module(&self) -> TraceModule {
+        TraceModule::new(
+            self.recorder
+                .clone()
+                .expect("testbed built with trace_sample_ppm > 0"),
+        )
     }
 
     /// A two-host testbed with defaults — the quickest start.
@@ -355,6 +399,9 @@ impl Testbed {
             if let Some(adm) = &host.admission {
                 stats.watch_admission(&format!("h{h}"), adm.clone());
             }
+            // Scheduling-delay distribution per host group, keyed by
+            // mode: `sched.h<h>.<mode>.delay`.
+            stats.watch_group(&format!("h{h}"), host.group.clone());
         }
         stats
     }

@@ -97,13 +97,19 @@ proptest! {
         total in any::<u64>(),
         len in any::<u32>(),
         sacks in proptest::collection::vec(any::<u64>(), 0..16),
+        trace in proptest::option::of((any::<u64>(), any::<u32>(), any::<bool>())),
     ) {
+        // Trace contexts ride the v6 header; v5 has no field for them.
+        let trace = trace.map(|(trace_id, parent_span, sampled)| {
+            snap_repro::sim::trace::TraceContext { trace_id, parent_span, sampled }
+        });
         let pkt = PonyPacket {
-            version: 5,
+            version: if trace.is_some() { 6 } else { 5 },
             flow,
             seq,
             cum_ack: cum,
             sacks,
+            trace,
             frame: OpFrame::MsgChunk { conn, stream, msg, offset, total, len },
         };
         prop_assert_eq!(PonyPacket::decode(&pkt.encode()).unwrap(), pkt);
