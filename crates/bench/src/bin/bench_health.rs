@@ -1,0 +1,315 @@
+//! Gray-failure health bench: the PR-6 detector-overhead and
+//! hedged-tail claims.
+//!
+//! Two experiments on the fixed-seed pair testbed:
+//!
+//! 1. **Healthy rack, detector attached.** The PR-2-style streaming
+//!    workload runs bare, then with the full gray-failure stack
+//!    attached (health rig probing every link and the workload engine,
+//!    supervisor watching, hedging enabled on the client). In-band
+//!    probes share the fabric, so individual packet timestamps may
+//!    shift — but the *modeled workload* must be identical: every op
+//!    completes with the same status, the sink delivers the same
+//!    message count, and zero quarantines or restarts fire. The
+//!    detector-attached run is also asserted bit-identical across a
+//!    rerun (determinism).
+//!
+//! 2. **Lossy link, hedging ablation.** The same workload over a
+//!    seeded 5%-lossy link, with and without hedged retries. Without
+//!    hedging a lost packet waits out the flow's RTO (≥200µs); a hedge
+//!    fires at the observed p80 latency plus jitter and retransmits
+//!    early, so the hedged streaming p99 must come in strictly below
+//!    the unhedged p99 while delivery stays exactly-once.
+//!
+//! Virtual-time metrics are deterministic under the fixed seed
+//! (asserted); only wall-clock varies. Writes `BENCH_pr6.json` (path
+//! overridable as argv[1]) and prints a table.
+//!
+//! Run with: `cargo run --release --bin bench_health`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use snap_repro::core::supervisor::SupervisorConfig;
+use snap_repro::health_rig::HealthRigConfig;
+use snap_repro::pony::client::{
+    HedgeConfig, OpStatus, PonyClient, PonyCommand, PonyCompletion,
+};
+use snap_repro::sim::fault::{FaultEvent, FaultPlan};
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+
+const SEED: u64 = 42;
+const TOTAL_OPS: u64 = 1200;
+const STREAM_MSG_BYTES: u64 = 2048;
+/// Closed-loop depth. Kept shallow so an op's latency is its own
+/// network fate (loss → RTO wait), not queueing behind the window —
+/// the regime where hedging's early retransmit pays off.
+const WINDOW: usize = 1;
+const PUMP_US: u64 = 5;
+const LOSS_PROB: f64 = 0.05;
+/// Hedge quantile for the lossy ablation. At a few percent loss the
+/// observed-latency window carries that same few percent of RTO-length
+/// tail samples, so arming at p90 would chase the tail it is trying to
+/// cut; p80 keeps the trigger inside the healthy latency mass.
+const HEDGE_QUANTILE: f64 = 0.8;
+/// Virtual-time budget per run; a run that can't drain by then is hung.
+const BUDGET_MS: u64 = 2_000;
+
+struct RunResult {
+    /// `(op id, status)` for every completed workload op, sorted by id.
+    op_results: Vec<(u64, OpStatus)>,
+    /// Messages the sink actually received.
+    delivered: u64,
+    /// Per-op completion latency in virtual ns, in completion order.
+    latencies: Vec<u64>,
+    quarantines: usize,
+    restarts: u64,
+    hedges_fired: u64,
+    wall_secs: f64,
+}
+
+impl RunResult {
+    fn p(&self, q: f64) -> f64 {
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx] as f64 / 1_000.0 // µs
+    }
+}
+
+/// Streaming workload with a fixed op count: submit `TOTAL_OPS` sends
+/// windowed `WINDOW` deep, run until every op completes, record each
+/// op's status and virtual-time latency.
+fn run(detector: bool, hedged: bool, lossy: bool) -> RunResult {
+    let mut tb = Testbed::new(TestbedConfig {
+        seed: SEED,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "src", |_| {});
+    let mut b = tb.pony_app(1, "sink", |_| {});
+    let conn = tb.connect(0, "src", 1, "sink");
+    if hedged {
+        a.enable_hedging(HedgeConfig {
+            quantile: HEDGE_QUANTILE,
+            ..HedgeConfig::default()
+        });
+    }
+    let sup = detector.then(|| tb.supervise_app(0, "src", SupervisorConfig::default()));
+    let rig = detector.then(|| {
+        let rig = tb.health_rig(HealthRigConfig::default());
+        tb.health_watch_app(&rig, 0, "src", sup.as_ref().expect("detector implies sup"));
+        rig.start(&mut tb.sim);
+        rig
+    });
+    if lossy {
+        let plan = FaultPlan::new().at(
+            Nanos(0),
+            FaultEvent::LinkLossy {
+                from: 0,
+                to: 1,
+                prob: LOSS_PROB,
+            },
+        );
+        tb.install_fault_plan(&plan);
+    }
+
+    let wall = Instant::now();
+    let deadline = tb.sim.now() + Nanos::from_millis(BUDGET_MS);
+    let mut submitted_at: HashMap<u64, Nanos> = HashMap::new();
+    let mut submitted = 0u64;
+    let mut op_results: Vec<(u64, OpStatus)> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut delivered = 0u64;
+    let submit_one = |tb: &mut Testbed, a: &mut PonyClient, map: &mut HashMap<u64, Nanos>| {
+        let op = a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: STREAM_MSG_BYTES,
+            },
+        );
+        map.insert(op, tb.sim.now());
+    };
+    for _ in 0..WINDOW {
+        submit_one(&mut tb, &mut a, &mut submitted_at);
+        submitted += 1;
+    }
+    while (op_results.len() as u64) < TOTAL_OPS {
+        assert!(tb.sim.now() < deadline, "run failed to drain in budget");
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {
+                delivered += 1;
+            }
+        }
+        for c in a.take_completions_at(tb.sim.now()) {
+            if let PonyCompletion::OpDone { op, status, .. } = c {
+                let t0 = submitted_at.remove(&op).expect("tracked op");
+                latencies.push(tb.sim.now().saturating_sub(t0).as_nanos());
+                op_results.push((op, status));
+                if submitted < TOTAL_OPS {
+                    submit_one(&mut tb, &mut a, &mut submitted_at);
+                    submitted += 1;
+                }
+            }
+        }
+    }
+    // Let the last in-flight deliveries land at the sink.
+    tb.run_ms(2);
+    for c in b.take_completions() {
+        if let PonyCompletion::RecvMsg { .. } = c {
+            delivered += 1;
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let quarantines = rig.as_ref().map(|r| {
+        r.stop();
+        r.quarantines()
+    });
+    let restarts = sup.as_ref().map(|s| {
+        s.stop();
+        s.report().restarts()
+    });
+    op_results.sort_unstable_by_key(|&(op, _)| op);
+    RunResult {
+        op_results,
+        delivered,
+        latencies,
+        quarantines: quarantines.unwrap_or(0),
+        restarts: restarts.unwrap_or(0),
+        hedges_fired: a.hedge_stats().map(|h| h.hedges_fired).unwrap_or(0),
+        wall_secs,
+    }
+}
+
+fn row(name: &str, r: &RunResult) {
+    println!(
+        "{:<18} {:>6} {:>9} {:>10.1} {:>10.1} {:>7} {:>6}",
+        name,
+        r.op_results.len(),
+        r.delivered,
+        r.p(0.5),
+        r.p(0.99),
+        r.hedges_fired,
+        r.quarantines,
+    );
+}
+
+fn json_leaf(r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"ops\": {}, \"delivered\": {}, \"p50_us\": {:.1}, ",
+            "\"p99_us\": {:.1}, \"hedges_fired\": {}, \"quarantines\": {}, ",
+            "\"restarts\": {}, \"wall_secs\": {:.6}}}"
+        ),
+        r.op_results.len(),
+        r.delivered,
+        r.p(0.5),
+        r.p(0.99),
+        r.hedges_fired,
+        r.quarantines,
+        r.restarts,
+        r.wall_secs,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+
+    snap_bench::header("Gray-failure health (PR 6): detector overhead + hedged tails");
+    println!(
+        "{:<18} {:>6} {:>9} {:>10} {:>10} {:>7} {:>6}",
+        "variant", "ops", "delivered", "p50 µs", "p99 µs", "hedges", "quar"
+    );
+
+    // Experiment 1: healthy rack, detector attached vs bare.
+    let baseline = run(false, false, false);
+    let attached = run(true, true, false);
+    let rerun = run(true, true, false);
+    row("bare", &baseline);
+    row("detector+hedge", &attached);
+
+    assert_eq!(
+        attached.op_results, baseline.op_results,
+        "detector-attached healthy run changed a workload op outcome"
+    );
+    assert_eq!(
+        attached.delivered, baseline.delivered,
+        "detector-attached healthy run changed delivery count"
+    );
+    assert_eq!(attached.quarantines, 0, "healthy rack was quarantined");
+    assert_eq!(attached.restarts, 0, "healthy rack engine was restarted");
+    assert_eq!(
+        (&attached.op_results, &attached.latencies, attached.delivered),
+        (&rerun.op_results, &rerun.latencies, rerun.delivered),
+        "detector-attached run must be bit-identical across reruns"
+    );
+    let healthy_p99_delta = attached.p(0.99) - baseline.p(0.99);
+
+    // Experiment 2: lossy link, hedging off vs on.
+    let unhedged = run(false, false, true);
+    let hedged = run(false, true, true);
+    row("lossy", &unhedged);
+    row("lossy+hedge", &hedged);
+
+    for r in [&unhedged, &hedged] {
+        assert_eq!(r.delivered, TOTAL_OPS, "lossy run lost a message");
+        assert!(
+            r.op_results.iter().all(|&(_, s)| s == OpStatus::Ok),
+            "lossy run failed an op"
+        );
+    }
+    assert!(hedged.hedges_fired > 0, "lossy link never triggered a hedge");
+    assert!(
+        hedged.p(0.99) < unhedged.p(0.99),
+        "hedging must cut the lossy p99: hedged {:.1}µs vs unhedged {:.1}µs",
+        hedged.p(0.99),
+        unhedged.p(0.99)
+    );
+    let p99_cut_pct = (1.0 - hedged.p(0.99) / unhedged.p(0.99)) * 100.0;
+
+    println!();
+    println!(
+        "healthy: modeled-identical ops (asserted), 0 quarantines, \
+         p99 shift {healthy_p99_delta:+.1}µs from in-band probes"
+    );
+    println!(
+        "lossy:   hedging cuts streaming p99 by {p99_cut_pct:.1}% \
+         ({:.1}µs -> {:.1}µs), delivery exactly-once (asserted)",
+        unhedged.p(0.99),
+        hedged.p(0.99)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"health_gray_failures\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"ops\": {TOTAL_OPS},");
+    let _ = writeln!(json, "  \"msg_bytes\": {STREAM_MSG_BYTES},");
+    let _ = writeln!(json, "  \"healthy\": {{");
+    let _ = writeln!(json, "    \"bare\": {},", json_leaf(&baseline));
+    let _ = writeln!(json, "    \"detector\": {},", json_leaf(&attached));
+    let _ = writeln!(
+        json,
+        "    \"modeled_identical_ops\": true, \"zero_quarantines\": true, \
+         \"deterministic_rerun\": true, \"p99_delta_us\": {healthy_p99_delta:.1}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"lossy\": {{");
+    let _ = writeln!(json, "    \"loss_prob\": {LOSS_PROB},");
+    let _ = writeln!(json, "    \"unhedged\": {},", json_leaf(&unhedged));
+    let _ = writeln!(json, "    \"hedged\": {},", json_leaf(&hedged));
+    let _ = writeln!(
+        json,
+        "    \"hedged_p99_cut_pct\": {p99_cut_pct:.1}, \"hedged_wins\": true"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -194,6 +194,14 @@ pub struct EngineGroup {
     crashed: Vec<bool>,
     /// Wedged engines make no progress until this virtual time.
     stalled_until: Vec<Nanos>,
+    /// Per-engine CPU inflation factor (gray-failure model: a
+    /// slow-degrading engine burns `factor`× CPU per pass, stretching
+    /// its dequeue latency without ever crashing). 1.0 = healthy.
+    slowdown: Vec<f64>,
+    /// Seeded jitter stream for mailbox-retry backoff, so concurrent
+    /// retriers against the same busy mailbox don't synchronize into
+    /// waves (they'd otherwise collide forever at identical delays).
+    retry_rng: snap_sim::Rng,
     /// Scheduling delay of every wake that had to schedule a worker:
     /// spin pickup for a spinning worker, interrupt wake latency for a
     /// blocked one. The per-mode distribution behind the trace layer's
@@ -238,6 +246,8 @@ impl GroupHandle {
                 suspended: Vec::new(),
                 crashed: Vec::new(),
                 stalled_until: Vec::new(),
+                slowdown: Vec::new(),
+                retry_rng: snap_sim::Rng::new(0x6261_636b).stream(0x6f_6666),
                 sched_delay: Histogram::new(),
             })),
         }
@@ -314,6 +324,7 @@ impl GroupHandle {
         g.suspended.push(false);
         g.crashed.push(false);
         g.stalled_until.push(Nanos::ZERO);
+        g.slowdown.push(1.0);
         id
     }
 
@@ -451,19 +462,26 @@ impl GroupHandle {
                 {
                     continue;
                 }
+                let factor = g.slowdown[id.0 as usize];
                 g.slots[id.0 as usize].as_mut().map(|slot| {
                     let mb = slot.mailbox.take();
                     (std::mem::replace(
                         &mut slot.engine,
                         Box::new(crate::engine::CountingEngine::new("placeholder", Nanos(0))),
-                    ), mb)
+                    ), mb, factor)
                 })
             };
-            let Some((mut engine, mailbox)) = taken else { continue };
+            let Some((mut engine, mailbox, factor)) = taken else { continue };
             if let Some(work) = mailbox {
                 work(engine.as_mut());
             }
-            let report = engine.run(sim);
+            let mut report = engine.run(sim);
+            if factor > 1.0 {
+                // Gray failure: the same pass burns `factor`× the CPU,
+                // which stretches the worker's slice and every queued
+                // op's dequeue latency behind it.
+                report.cpu = Nanos((report.cpu.as_nanos() as f64 * factor) as u64);
+            }
             total_cpu += report.cpu;
             any_work |= report.work_done;
             any_pending |= report.pending > 0;
@@ -728,6 +746,14 @@ impl GroupHandle {
         Ok(())
     }
 
+    /// True when `other` is a handle to the *same* underlying group —
+    /// engine ids are only meaningful within one group, so callers that
+    /// key work by `(group, EngineId)` (the supervisor's quarantine
+    /// path) need identity, not name equality.
+    pub fn same_group(&self, other: &GroupHandle) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Runs `f` against an engine synchronously. In the real system
     /// this is a mailbox call that blocks the *control* thread only; in
     /// the simulator the control plane and engines share one thread, so
@@ -829,7 +855,18 @@ impl GroupHandle {
                 on_result(sim, Ok(()));
             }
             Post::Busy => {
-                if sim.now() + delay > deadline {
+                // Equal jitter on the backoff step: sleep a seeded
+                // uniform draw from [delay/2, delay] so concurrent
+                // retriers against the same busy mailbox decorrelate
+                // instead of colliding in lockstep waves. The draw
+                // comes from the group's own deterministic stream, so
+                // runs stay bit-reproducible.
+                let half = Nanos(delay.as_nanos() / 2);
+                let jittered = {
+                    let mut g = self.inner.borrow_mut();
+                    half + Nanos(g.retry_rng.below(half.as_nanos() + 1))
+                };
+                if sim.now() + jittered > deadline {
                     on_result(
                         sim,
                         Err(ControlError::Timeout(format!(
@@ -842,7 +879,7 @@ impl GroupHandle {
                 let handle = self.clone();
                 let Some(work) = work.take() else { return };
                 let next_delay = (delay * 2).min(Nanos(costs::CONTROL_RETRY_CAP_NS));
-                sim.schedule_in(delay, move |sim| {
+                sim.schedule_in(jittered, move |sim| {
                     handle.post_attempt(sim, id, work, on_result, deadline, next_delay);
                 });
             }
@@ -884,6 +921,8 @@ impl GroupHandle {
             g.suspended[id.0 as usize] = false;
             g.crashed[id.0 as usize] = false;
             g.stalled_until[id.0 as usize] = Nanos::ZERO;
+            // A restart replaces the degraded process: healthy again.
+            g.slowdown[id.0 as usize] = 1.0;
         }
         self.wake(sim, id);
     }
@@ -904,6 +943,27 @@ impl GroupHandle {
             slot.engine = Box::new(crate::engine::CountingEngine::new("crashed", Nanos(0)));
             slot.mailbox = None;
         }
+    }
+
+    /// Degrades an engine's efficiency by `factor` (>= 1.0): every pass
+    /// burns `factor`× the CPU, the gray-failure model of a process
+    /// that is alive and making progress but pathologically slow (lock
+    /// contention, a sick core, thermal throttling). Unlike a wedge the
+    /// engine still heartbeats, so only latency-based health scoring —
+    /// not liveness checks — can see it. `factor <= 1.0` heals.
+    /// Unknown ids are a no-op so over-approximate fault plans can't
+    /// panic the group.
+    pub fn slow_engine(&self, id: EngineId, factor: f64) {
+        let mut g = self.inner.borrow_mut();
+        if let Some(f) = g.slowdown.get_mut(id.0 as usize) {
+            *f = factor.max(1.0);
+        }
+    }
+
+    /// The engine's current slowdown factor (1.0 = healthy), or `None`
+    /// for an unknown id.
+    pub fn slowdown_factor(&self, id: EngineId) -> Option<f64> {
+        self.inner.borrow().slowdown.get(id.0 as usize).copied()
     }
 
     /// Wedges an engine for `duration`: it stays resident but makes no
@@ -1306,6 +1366,83 @@ mod tests {
             "retries ran past the budget: {}",
             sim.now()
         );
+    }
+
+    #[test]
+    fn backoff_retries_are_jittered_and_deterministic() {
+        fn giveup_times() -> (Nanos, Nanos) {
+            let mut sim = Sim::new();
+            let (g, id) = counting_group(SchedulingMode::Spreading);
+            g.start(&mut sim);
+            // A crashed engine never drains its mailbox: both RPCs
+            // retry against permanent Busy until the budget expires.
+            g.kill_engine(id);
+            g.post_to_engine(&mut sim, id, Box::new(|_| {})).unwrap();
+            let t1 = Rc::new(RefCell::new(Nanos::ZERO));
+            let t2 = Rc::new(RefCell::new(Nanos::ZERO));
+            let (s1, s2) = (t1.clone(), t2.clone());
+            g.post_with_backoff(
+                &mut sim,
+                id,
+                Box::new(|_| {}),
+                Box::new(move |sim, _| *s1.borrow_mut() = sim.now()),
+            );
+            g.post_with_backoff(
+                &mut sim,
+                id,
+                Box::new(|_| {}),
+                Box::new(move |sim, _| *s2.borrow_mut() = sim.now()),
+            );
+            sim.run();
+            let out = (*t1.borrow(), *t2.borrow());
+            out
+        }
+        let (a1, a2) = giveup_times();
+        assert!(!a1.is_zero() && !a2.is_zero(), "both RPCs must conclude");
+        // Without jitter two concurrent retriers launched at the same
+        // instant walk the identical backoff ladder and give up at the
+        // exact same time — the synchronized-wave pathology. Seeded
+        // jitter decorrelates them...
+        assert_ne!(a1, a2, "jitter must desynchronize concurrent retriers");
+        // ...while staying deterministic: a rerun is bit-identical.
+        assert_eq!((a1, a2), giveup_times());
+    }
+
+    #[test]
+    fn slowed_engine_burns_scaled_cpu_and_restart_heals() {
+        fn engine_cpu(factor: Option<f64>) -> Nanos {
+            let mut sim = Sim::new();
+            let (g, id) = counting_group(SchedulingMode::Dedicated { cores: vec![0] });
+            if let Some(f) = factor {
+                g.slow_engine(id, f);
+            }
+            g.start(&mut sim);
+            inject(&g, id, sim.now(), 20);
+            g.wake(&mut sim, id);
+            sim.run();
+            assert_eq!(processed(&g, id), 20, "slowdown must not drop work");
+            g.cpu(sim.now()).engine
+        }
+        let healthy = engine_cpu(None);
+        let slowed = engine_cpu(Some(4.0));
+        assert!(
+            slowed >= healthy * 3,
+            "4x slowdown should inflate engine CPU: healthy {healthy}, slowed {slowed}"
+        );
+
+        // A supervisor restart replaces the degraded process: the
+        // factor resets to healthy.
+        let mut sim = Sim::new();
+        let (g, id) = counting_group(SchedulingMode::Spreading);
+        g.slow_engine(id, 4.0);
+        assert_eq!(g.slowdown_factor(id), Some(4.0));
+        g.suspend_engine(&mut sim, id);
+        let old = g.take_engine(id).expect("suspended");
+        g.resume_engine(&mut sim, id, old);
+        assert_eq!(g.slowdown_factor(id), Some(1.0));
+        // Unknown ids are a no-op (over-approximate fault plans).
+        g.slow_engine(EngineId(99), 7.0);
+        assert_eq!(g.slowdown_factor(EngineId(99)), None);
     }
 
     #[test]

@@ -72,12 +72,15 @@ pub struct SupervisorReport {
     pub crash_restarts: u64,
     /// Restarts triggered by wedge detection.
     pub wedge_restarts: u64,
+    /// Proactive restarts requested by an external health verdict
+    /// (gray-failure quarantine).
+    pub quarantine_restarts: u64,
 }
 
 impl SupervisorReport {
-    /// Total restarts of either kind.
+    /// Total restarts of any kind.
     pub fn restarts(&self) -> u64 {
-        self.crash_restarts + self.wedge_restarts
+        self.crash_restarts + self.wedge_restarts + self.quarantine_restarts
     }
 }
 
@@ -112,6 +115,9 @@ pub enum RestartKind {
     Crash,
     /// Pending work aged past the wedge threshold with no progress.
     Wedge,
+    /// An external health monitor judged the engine gray (alive but
+    /// degraded) and asked for a proactive rebuild.
+    Quarantine,
 }
 
 /// One restart, with its blackout window — the supervisor-side analogue
@@ -232,6 +238,31 @@ impl Supervisor {
             .map(|w| now.saturating_sub(w.checkpoint_at))
     }
 
+    /// Proactively restarts a watched engine on an external health
+    /// verdict: the engine is alive (so the liveness loop will never
+    /// act) but a gray-failure detector judged it degraded. The engine
+    /// is rebuilt from its last checkpoint exactly like a wedge
+    /// restart. Returns `false` if `(group, id)` is not watched, or a
+    /// restart is already in flight, or the engine is suspended (an
+    /// upgrade owns it).
+    pub fn quarantine(&self, sim: &mut Sim, group: &GroupHandle, id: EngineId) -> bool {
+        let idx = {
+            let inner = self.inner.borrow();
+            inner.watched.iter().position(|w| {
+                w.id == id
+                    && w.group.same_group(group)
+                    && !w.restarting
+                    && w.group
+                        .engine_health(w.id)
+                        .map(|h| !h.suspended)
+                        .unwrap_or(false)
+            })
+        };
+        let Some(i) = idx else { return false };
+        self.restart(sim, i, RestartKind::Quarantine);
+        true
+    }
+
     /// One checkpoint pass: snapshot every healthy watched engine.
     fn checkpoint_pass(&self, sim: &mut Sim) {
         let now = sim.now();
@@ -302,6 +333,7 @@ impl Supervisor {
             match kind {
                 RestartKind::Crash => inner.report.crash_restarts += 1,
                 RestartKind::Wedge => inner.report.wedge_restarts += 1,
+                RestartKind::Quarantine => inner.report.quarantine_restarts += 1,
             }
             let w = &inner.watched[i];
             let (group, id, cost) = (w.group.clone(), w.id, inner.cfg.restart_cost);
@@ -313,10 +345,11 @@ impl Supervisor {
             });
             (group, id, cost, inner.restart_log.len() - 1)
         };
-        if matches!(kind, RestartKind::Wedge) {
-            // The wedged engine is still resident: suspend it (running
-            // its detach hook, dropping NIC filters) and discard it —
-            // its in-memory state is not trusted.
+        if matches!(kind, RestartKind::Wedge | RestartKind::Quarantine) {
+            // The wedged (or quarantined) engine is still resident:
+            // suspend it (running its detach hook, dropping NIC
+            // filters) and discard it — its in-memory state is not
+            // trusted.
             group.suspend_engine(sim, id);
             drop(group.take_engine(id));
         }
@@ -478,6 +511,44 @@ mod tests {
         g.wake(&mut sim, id);
         sim.run_until(Nanos::from_millis(13));
         assert_eq!(processed(&g, id), 2);
+    }
+
+    #[test]
+    fn quarantine_rebuilds_a_live_engine_and_counts_separately() {
+        let mut sim = Sim::new();
+        let g = group();
+        let id = g.add_engine(Box::new(CountingEngine::new("e", Nanos(100))));
+        g.start(&mut sim);
+        let s = sup();
+        s.watch(&mut sim, g.clone(), id, counting_factory());
+        s.start(&mut sim);
+        // Work gets checkpointed, then a health verdict quarantines the
+        // (perfectly alive) engine.
+        inject(&g, id, sim.now(), 5);
+        g.wake(&mut sim, id);
+        sim.run_until(Nanos::from_millis(2));
+        assert_eq!(processed(&g, id), 5);
+        // Wrong group or unknown id: refused, nothing restarted.
+        let other = group();
+        assert!(!s.quarantine(&mut sim, &other, id));
+        assert!(!s.quarantine(&mut sim, &g, EngineId(42)));
+        assert!(s.quarantine(&mut sim, &g, id));
+        // Already restarting: second request refused.
+        assert!(!s.quarantine(&mut sim, &g, id));
+        sim.run_until(Nanos::from_millis(4));
+        s.stop();
+        sim.run();
+        let r = s.report();
+        assert_eq!(r.quarantine_restarts, 1);
+        assert_eq!(r.crash_restarts + r.wedge_restarts, 0);
+        assert_eq!(r.restarts(), 1);
+        // Rebuilt from the checkpoint, alive and serving.
+        assert_eq!(processed(&g, id), 5);
+        assert_eq!(g.with_engine(id, |e| e.name().to_string()), "revived");
+        let log = s.restart_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, RestartKind::Quarantine);
+        assert!(log[0].blackout().is_some());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Phi-accrual failure detection over probe arrivals.
+//!
+//! The classic accrual detector (Hayashibara et al., as deployed in
+//! Cassandra and Akka): instead of a binary "no heartbeat for T ⇒
+//! dead", suspicion is a continuous score. Model probe inter-arrival
+//! times as exponential with the observed mean; then the probability of
+//! seeing a gap at least as long as the current silence is
+//! `P = exp(-t/mean)`, and `phi = -log10(P) = t / (mean · ln 10)`.
+//! A threshold of phi = 8 means "this silence had probability 1e-8
+//! under healthy behavior" — tunable false-positive rate by
+//! construction, which is exactly what a gray-failure detector needs.
+
+// Detection is control-plane machinery: it must degrade into scores
+// and verdicts, never panic, no matter what the probes feed it.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use snap_sim::Nanos;
+
+/// `1 / ln(10)` — converts nats of surprise into decimal digits.
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// EWMA weight for the inter-arrival mean: heavy enough history that a
+/// single stretched gap does not retrain the detector, light enough to
+/// follow genuine cadence changes within a few dozen probes.
+const ALPHA: f64 = 0.1;
+
+/// Accrual state for one probed target.
+#[derive(Debug, Clone, Default)]
+pub struct PhiAccrual {
+    /// EWMA of inter-arrival time, ns. Zero until two arrivals.
+    mean_interval: f64,
+    last: Option<Nanos>,
+    arrivals: u64,
+}
+
+impl PhiAccrual {
+    /// A detector that has seen nothing (phi is 0 until it learns a
+    /// cadence from at least two arrivals).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a probe arrival at `now`.
+    pub fn heartbeat(&mut self, now: Nanos) {
+        if let Some(last) = self.last {
+            let gap = now.saturating_sub(last).as_nanos() as f64;
+            self.mean_interval = if self.arrivals <= 1 {
+                gap
+            } else {
+                ALPHA * gap + (1.0 - ALPHA) * self.mean_interval
+            };
+        }
+        self.last = Some(now);
+        self.arrivals += 1;
+    }
+
+    /// Current suspicion: how surprising the silence since the last
+    /// arrival is, in decimal orders of magnitude. 0.0 while the
+    /// detector has no learned cadence.
+    pub fn phi(&self, now: Nanos) -> f64 {
+        let Some(last) = self.last else { return 0.0 };
+        if self.mean_interval <= 0.0 || self.arrivals < 2 {
+            return 0.0;
+        }
+        let silence = now.saturating_sub(last).as_nanos() as f64;
+        LOG10_E * silence / self.mean_interval
+    }
+
+    /// Probe arrivals recorded so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Learned mean inter-arrival time.
+    pub fn mean_interval(&self) -> Nanos {
+        Nanos(self.mean_interval as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_detector_is_unsuspicious() {
+        let p = PhiAccrual::new();
+        assert_eq!(p.phi(Nanos::from_millis(100)), 0.0);
+    }
+
+    #[test]
+    fn regular_heartbeats_keep_phi_low() {
+        let mut p = PhiAccrual::new();
+        for i in 0..100u64 {
+            p.heartbeat(Nanos(i * 100_000));
+        }
+        // Checked one interval after the last beat: unsurprising.
+        let phi = p.phi(Nanos(100 * 100_000));
+        assert!(phi < 1.0, "phi {phi}");
+        assert_eq!(p.mean_interval(), Nanos(100_000));
+    }
+
+    #[test]
+    fn silence_accrues_suspicion_continuously() {
+        let mut p = PhiAccrual::new();
+        for i in 0..100u64 {
+            p.heartbeat(Nanos(i * 100_000));
+        }
+        let last = Nanos(99 * 100_000);
+        let short = p.phi(last + Nanos(200_000));
+        let long = p.phi(last + Nanos(2_000_000));
+        let longer = p.phi(last + Nanos(4_000_000));
+        assert!(short < long && long < longer, "{short} {long} {longer}");
+        // 20 missed intervals ≈ phi 8.7: past any sane threshold.
+        assert!(long > 8.0, "20-interval silence must look dead: {long}");
+    }
+
+    #[test]
+    fn recovery_resets_suspicion() {
+        let mut p = PhiAccrual::new();
+        for i in 0..10u64 {
+            p.heartbeat(Nanos(i * 100_000));
+        }
+        assert!(p.phi(Nanos(5_000_000)) > 8.0);
+        p.heartbeat(Nanos(5_000_000));
+        assert!(p.phi(Nanos(5_000_000)) < 0.01, "fresh beat clears phi");
+    }
+}

@@ -84,6 +84,15 @@ pub struct FabricStats {
     /// Packets whose payload was corrupted in flight (they continue to
     /// the destination, where the CRC check rejects them).
     pub corrupted: u64,
+    /// Packets silently dropped by a per-link gray loss fault.
+    pub lossy_drops: u64,
+    /// PFC pause storms injected against egress ports.
+    pub pauses: u64,
+    /// Packets rerouted around a quarantined link via an alternate path.
+    pub rerouted: u64,
+    /// Best-effort packets shed on a quarantined link (degraded mode
+    /// sheds the best-effort class first, §2.5).
+    pub quarantine_sheds: u64,
 }
 
 /// Why packets destined to one host were lost — the per-host drop
@@ -100,12 +109,23 @@ pub struct DropReasons {
     pub corruption: u64,
     /// Packets dropped because the target rx ring was full.
     pub no_buffer: u64,
+    /// Packets silently dropped by a gray lossy-link fault. No CRC
+    /// evidence reaches the receiver — only probing or retransmit
+    /// telemetry surfaces these.
+    pub lossy: u64,
+    /// Best-effort packets shed because their link was quarantined.
+    pub quarantined: u64,
 }
 
 impl DropReasons {
     /// Total drops across all reasons.
     pub fn total(&self) -> u64 {
-        self.crc_bad + self.partition + self.corruption + self.no_buffer
+        self.crc_bad
+            + self.partition
+            + self.corruption
+            + self.no_buffer
+            + self.lossy
+            + self.quarantined
     }
 }
 
@@ -115,6 +135,8 @@ impl DropReasons {
 struct HostFaultDrops {
     partition: u64,
     corruption: u64,
+    lossy: u64,
+    quarantined: u64,
 }
 
 /// Per-directed-link (`src -> dst`) traffic and drop counters, surfaced
@@ -132,6 +154,18 @@ pub struct LinkStats {
     /// Packets `src -> dst` corrupted in flight (they still burn
     /// bandwidth; the destination NIC CRC-rejects them).
     pub corrupted: u64,
+    /// Packets `src -> dst` silently dropped by a gray lossy-link
+    /// fault (no CRC evidence at the receiver).
+    pub lossy_drops: u64,
+    /// Packets `src -> dst` delayed by an injected jitter fault.
+    pub jittered: u64,
+    /// Total extra delay (ns) the jitter fault added on this link —
+    /// `jitter_ns / jittered` is the mean injected delay.
+    pub jitter_ns: u64,
+    /// Packets rerouted around this link while it was quarantined.
+    pub rerouted: u64,
+    /// Best-effort packets shed on this link while quarantined.
+    pub quarantine_sheds: u64,
 }
 
 struct EgressPort {
@@ -156,7 +190,24 @@ pub struct Fabric {
     queue_stalls: HashMap<(HostId, u16), Nanos>,
     /// Fault-injection drops broken down by destination host.
     fault_drops: HashMap<HostId, HostFaultDrops>,
+    /// Gray lossy links: (src, dst) -> silent per-packet drop prob.
+    lossy_links: HashMap<(HostId, HostId), f64>,
+    /// Gray jittery links: (src, dst) -> (median extra delay, sigma).
+    jitter_links: HashMap<(HostId, HostId), (Nanos, f64)>,
+    /// Quarantined directed links (health-detector verdicts): traffic
+    /// reroutes via an alternate path when one exists, and best-effort
+    /// traffic is shed.
+    quarantined_links: HashSet<(HostId, HostId)>,
+    /// PFC pause storms: dst host -> time the switch may serialize
+    /// toward it again.
+    paused_until: HashMap<HostId, Nanos>,
     rng: Rng,
+    /// Dedicated RNG stream for gray-fault draws (per-link loss,
+    /// jitter). Separate from `rng` so attaching a gray fault to one
+    /// link never perturbs the draw order — and thus the modeled
+    /// outcome — of unrelated traffic, and a healthy run with the gray
+    /// machinery present is bit-identical to one without it.
+    gray_rng: Rng,
     stats: FabricStats,
     next_host: HostId,
     /// Trace recorder for causal op tracing. Observation-only: stamps
@@ -172,6 +223,7 @@ fn norm_pair(a: HostId, b: HostId) -> (HostId, HostId) {
 impl Fabric {
     fn new(cfg: FabricConfig) -> Self {
         let rng = Rng::new(cfg.seed);
+        let gray_rng = Rng::new(cfg.seed).stream(0x6a77_e25d);
         Fabric {
             cfg,
             nics: HashMap::new(),
@@ -182,7 +234,12 @@ impl Fabric {
             links: HashMap::new(),
             queue_stalls: HashMap::new(),
             fault_drops: HashMap::new(),
+            lossy_links: HashMap::new(),
+            jitter_links: HashMap::new(),
+            quarantined_links: HashSet::new(),
+            paused_until: HashMap::new(),
             rng,
+            gray_rng,
             stats: FabricStats::default(),
             next_host: 0,
             recorder: None,
@@ -233,6 +290,42 @@ impl Fabric {
             self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
             return None;
         }
+        // Quarantine (a health-detector verdict, not a fault): where an
+        // alternate path exists — any third host implies another ToR
+        // port pair to relay through — traffic reroutes around the sick
+        // link and skips its gray faults, paying one extra switch hop.
+        // Best-effort traffic is shed first rather than rerouted
+        // (degraded mode sheds the best-effort class, reusing the QoS
+        // split). On a two-host rack there is no alternate: transport
+        // traffic soldiers on over the sick link.
+        let quarantined = self.quarantined_links.contains(&(pkt.src, pkt.dst));
+        if quarantined && pkt.qos == QosClass::BestEffort {
+            self.stats.quarantine_sheds += 1;
+            self.fault_drops.entry(pkt.dst).or_default().quarantined += 1;
+            self.links.entry((pkt.src, pkt.dst)).or_default().quarantine_sheds += 1;
+            self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
+            return None;
+        }
+        let rerouted = quarantined && self.nics.len() > 2;
+        if rerouted {
+            self.stats.rerouted += 1;
+            self.links.entry((pkt.src, pkt.dst)).or_default().rerouted += 1;
+        }
+        // Gray loss: the link silently eats the packet — no CRC
+        // evidence ever reaches the receiver, unlike corruption below.
+        // Drawn from the dedicated gray RNG stream so healthy links'
+        // draw order is untouched.
+        if !rerouted {
+            if let Some(&prob) = self.lossy_links.get(&(pkt.src, pkt.dst)) {
+                if self.gray_rng.chance(prob) {
+                    self.stats.lossy_drops += 1;
+                    self.fault_drops.entry(pkt.dst).or_default().lossy += 1;
+                    self.links.entry((pkt.src, pkt.dst)).or_default().lossy_drops += 1;
+                    self.stamp(pkt, Stage::WireDrop, FABRIC_HOST, now);
+                    return None;
+                }
+            }
+        }
         // Payload corruption: flip one bit, leave the CRC stale; the
         // packet still travels and burns bandwidth, but the destination
         // NIC rejects it.
@@ -247,6 +340,30 @@ impl Fabric {
             self.fault_drops.entry(pkt.dst).or_default().corruption += 1;
             self.links.entry((pkt.src, pkt.dst)).or_default().corrupted += 1;
             self.stamp(pkt, Stage::WireCorrupt, FABRIC_HOST, now);
+        }
+        // Gray jitter: a misbehaving port delays rather than drops.
+        // The extra delay is log-normal (median/sigma from the fault),
+        // drawn from the gray stream, and attributed per link.
+        let mut extra = Nanos::ZERO;
+        if !rerouted {
+            if let Some(&(median, sigma)) = self.jitter_links.get(&(pkt.src, pkt.dst)) {
+                if !median.is_zero() {
+                    let d = snap_sim::dist::log_normal(
+                        &mut self.gray_rng,
+                        median.as_nanos() as f64,
+                        sigma,
+                    ) as u64;
+                    extra += Nanos(d);
+                    let link = self.links.entry((pkt.src, pkt.dst)).or_default();
+                    link.jittered += 1;
+                    link.jitter_ns += d;
+                }
+            }
+        }
+        // A rerouted packet pays one extra switch traversal + two extra
+        // link hops to relay through the alternate path.
+        if rerouted {
+            extra += self.cfg.switch_latency + self.cfg.prop_delay * 2;
         }
         // Buffer admission at the destination egress port.
         let limit = match pkt.qos {
@@ -274,8 +391,17 @@ impl Fabric {
             return None;
         }
         port.queued_bytes += pkt.wire_size as u64;
-        let start = port.busy_until.max(now + switch_latency);
-        let dep = start + transmit_time(pkt.wire_size as u64, egress_gbps);
+        // A PFC pause storm against the destination holds egress
+        // serialization until the storm passes; admitted packets keep
+        // occupying the buffer meanwhile, so sustained load during a
+        // storm spills into buffer-full drops — the §5.4 pathology.
+        let paused = self
+            .paused_until
+            .get(&pkt.dst)
+            .copied()
+            .unwrap_or(Nanos::ZERO);
+        let start = port.busy_until.max(now + switch_latency).max(paused);
+        let dep = start + transmit_time(pkt.wire_size as u64, egress_gbps) + extra;
         port.busy_until = dep;
         self.stamp(pkt, Stage::SwitchDepart, FABRIC_HOST, dep);
         Some(dep)
@@ -382,6 +508,60 @@ impl FabricHandle {
         self.inner.borrow().oneway_partitions.contains(&(from, to))
     }
 
+    /// Sets (or, with `prob == 0`, heals) a *gray* loss fault on the
+    /// directed link `from -> to`: packets are silently dropped with
+    /// probability `prob`, with no CRC evidence at the receiver.
+    pub fn set_link_loss(&self, from: HostId, to: HostId, prob: f64) {
+        let mut fabric = self.inner.borrow_mut();
+        if prob > 0.0 {
+            fabric.lossy_links.insert((from, to), prob.clamp(0.0, 1.0));
+        } else {
+            fabric.lossy_links.remove(&(from, to));
+        }
+    }
+
+    /// Sets (or, with a zero `median`, heals) a jitter fault on the
+    /// directed link `from -> to`: each packet picks up a log-normal
+    /// extra delay with the given median and sigma.
+    pub fn set_link_jitter(&self, from: HostId, to: HostId, median: Nanos, sigma: f64) {
+        let mut fabric = self.inner.borrow_mut();
+        if median.is_zero() {
+            fabric.jitter_links.remove(&(from, to));
+        } else {
+            fabric.jitter_links.insert((from, to), (median, sigma.max(0.0)));
+        }
+    }
+
+    /// Injects a PFC pause storm against `host`: the switch stops
+    /// serializing toward it until absolute time `until` (§5.4's
+    /// pause-frame pathology). Storms extend, never shorten, an
+    /// existing pause.
+    pub fn pause_host(&self, host: HostId, until: Nanos) {
+        let mut fabric = self.inner.borrow_mut();
+        let entry = fabric.paused_until.entry(host).or_insert(Nanos::ZERO);
+        *entry = (*entry).max(until);
+        fabric.stats.pauses += 1;
+    }
+
+    /// Quarantines the directed link `from -> to` (a health-detector
+    /// verdict): transport traffic reroutes via an alternate path when
+    /// one exists (any third host), paying one extra switch hop but
+    /// dodging the link's gray faults; best-effort traffic is shed.
+    /// Idempotent.
+    pub fn quarantine_link(&self, from: HostId, to: HostId) {
+        self.inner.borrow_mut().quarantined_links.insert((from, to));
+    }
+
+    /// Lifts a quarantine on the directed link `from -> to`. Idempotent.
+    pub fn clear_quarantine(&self, from: HostId, to: HostId) {
+        self.inner.borrow_mut().quarantined_links.remove(&(from, to));
+    }
+
+    /// True if the directed link `from -> to` is quarantined.
+    pub fn is_quarantined(&self, from: HostId, to: HostId) -> bool {
+        self.inner.borrow().quarantined_links.contains(&(from, to))
+    }
+
     /// Traffic/drop counters for the directed link `from -> to`.
     /// Zeroed stats for a link that never carried or dropped a packet.
     pub fn link_stats(&self, from: HostId, to: HostId) -> LinkStats {
@@ -432,6 +612,8 @@ impl FabricHandle {
             partition: fault.partition,
             corruption: fault.corruption,
             no_buffer,
+            lossy: fault.lossy,
+            quarantined: fault.quarantined,
         }
     }
 
@@ -1130,6 +1312,191 @@ mod tests {
         };
         assert!(t_single > Nanos::ZERO);
         assert_eq!(t_single, t_burst);
+    }
+
+    #[test]
+    fn lossy_link_drops_silently_and_attributes() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        fabric.set_link_loss(a, b, 1.0);
+        for _ in 0..10 {
+            fabric.transmit(&mut sim, 0, packet(a, b, 500)).unwrap();
+        }
+        // The reverse direction is unaffected: gray loss is directed.
+        fabric.transmit(&mut sim, 0, packet(b, a, 500)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().lossy_drops, 10);
+        assert_eq!(fabric.stats().delivered, 1);
+        assert_eq!(fabric.link_stats(a, b).lossy_drops, 10);
+        assert_eq!(fabric.link_stats(b, a).lossy_drops, 0);
+        // Silent: no CRC evidence at the receiver, unlike corruption.
+        assert_eq!(fabric.with_nic(b, |n| n.stats().rx_crc_drops), 0);
+        let dr = fabric.drop_reasons(b);
+        assert_eq!(dr.lossy, 10);
+        assert!(dr.total() >= 10);
+        // Healing restores delivery.
+        fabric.set_link_loss(a, b, 0.0);
+        fabric.transmit(&mut sim, 0, packet(a, b, 500)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().delivered, 2);
+    }
+
+    #[test]
+    fn jittery_link_delays_but_delivers() {
+        let delivery_at = |jitter: Option<(Nanos, f64)>| {
+            let mut sim = Sim::new();
+            let (fabric, a, b) = two_hosts(0.0);
+            if let Some((median, sigma)) = jitter {
+                fabric.set_link_jitter(a, b, median, sigma);
+            }
+            let at = Rc::new(Cell::new(Nanos::ZERO));
+            let at2 = at.clone();
+            fabric.with_nic(b, |nic| {
+                nic.set_irq_handler(Rc::new(move |sim: &mut Sim, _q| at2.set(sim.now())));
+                nic.arm_irq(0, true);
+            });
+            fabric.transmit(&mut sim, 0, packet(a, b, 1000).with_rss_hash(0)).unwrap();
+            sim.run();
+            (at.get(), fabric.link_stats(a, b))
+        };
+        let (clean, clean_link) = delivery_at(None);
+        let (jittered, link) = delivery_at(Some((Nanos::from_micros(50), 0.5)));
+        assert!(clean > Nanos::ZERO && jittered > clean, "{clean} vs {jittered}");
+        assert_eq!(link.jittered, 1);
+        assert!(link.jitter_ns > 0);
+        assert_eq!(link.delivered, 1, "jitter delays, never drops");
+        assert_eq!(clean_link.jittered, 0);
+    }
+
+    #[test]
+    fn healthy_runs_are_identical_with_gray_machinery_on_other_links() {
+        // A gray fault on an unrelated link must not perturb this
+        // link's modeled outcome: separate RNG stream, per-link draw.
+        let run = |poison_other: bool| {
+            let mut sim = Sim::new();
+            let fabric = FabricHandle::new(FabricConfig {
+                loss_prob: 0.2,
+                ..FabricConfig::default()
+            });
+            let a = fabric.add_host(NicConfig::default());
+            let b = fabric.add_host(NicConfig::default());
+            let c = fabric.add_host(NicConfig::default());
+            if poison_other {
+                fabric.set_link_loss(a, c, 0.9);
+                fabric.set_link_jitter(c, a, Nanos::from_micros(100), 1.0);
+            }
+            for _ in 0..200 {
+                fabric.transmit(&mut sim, 0, packet(a, b, 400)).unwrap();
+                sim.run();
+            }
+            (fabric.stats().delivered, fabric.stats().random_drops, sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn pause_storm_holds_egress_then_releases() {
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        let storm_end = Nanos::from_micros(300);
+        fabric.pause_host(b, storm_end);
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let arr = arrivals.clone();
+        fabric.with_nic(b, |nic| {
+            nic.set_irq_handler(Rc::new(move |sim: &mut Sim, _q| {
+                arr.borrow_mut().push(sim.now());
+            }));
+            nic.arm_irq(0, true);
+        });
+        fabric.transmit(&mut sim, 0, packet(a, b, 100).with_rss_hash(0)).unwrap();
+        sim.run();
+        // Held at the switch through the storm, delivered right after.
+        let arrivals = arrivals.borrow();
+        assert_eq!(arrivals.len(), 1);
+        assert!(arrivals[0] > storm_end, "held past the storm: {}", arrivals[0]);
+        assert!(
+            arrivals[0] < storm_end + Nanos::from_micros(50),
+            "released promptly: {}",
+            arrivals[0]
+        );
+        assert_eq!(fabric.stats().pauses, 1);
+    }
+
+    #[test]
+    fn pause_storm_under_load_spills_into_buffer_drops() {
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig {
+            switch_buffer_bytes: 20_000,
+            ..FabricConfig::default()
+        });
+        let a = fabric.add_host(NicConfig {
+            tx_queue_depth: 4096,
+            ..NicConfig::default()
+        });
+        let b = fabric.add_host(NicConfig::default());
+        fabric.pause_host(b, Nanos::from_millis(5));
+        for _ in 0..100 {
+            fabric.transmit(&mut sim, 0, packet(a, b, 1000)).unwrap();
+        }
+        sim.run();
+        let s = fabric.stats();
+        assert!(s.switch_drops > 0, "storm backlog must spill: {s:?}");
+        assert_eq!(s.delivered + s.switch_drops, 100);
+    }
+
+    #[test]
+    fn quarantined_link_sheds_best_effort_and_reroutes_transport() {
+        // Three hosts: an alternate path exists, so transport traffic
+        // on the quarantined link reroutes (dodging its gray loss) at
+        // the cost of an extra hop; best-effort is shed.
+        let mut sim = Sim::new();
+        let fabric = FabricHandle::new(FabricConfig::default());
+        let a = fabric.add_host(NicConfig::default());
+        let b = fabric.add_host(NicConfig::default());
+        let _c = fabric.add_host(NicConfig::default());
+        fabric.set_link_loss(a, b, 1.0);
+        fabric.quarantine_link(a, b);
+        assert!(fabric.is_quarantined(a, b));
+        for _ in 0..5 {
+            let p = packet(a, b, 500).with_qos(QosClass::Transport);
+            fabric.transmit(&mut sim, 0, p).unwrap();
+        }
+        let be = packet(a, b, 500).with_qos(QosClass::BestEffort);
+        fabric.transmit(&mut sim, 0, be).unwrap();
+        sim.run();
+        let s = fabric.stats();
+        // Transport rerouted around the 100%-lossy link — delivered.
+        assert_eq!(s.delivered, 5, "{s:?}");
+        assert_eq!(s.lossy_drops, 0, "reroute dodges the gray fault");
+        assert_eq!(s.rerouted, 5);
+        assert_eq!(s.quarantine_sheds, 1);
+        let link = fabric.link_stats(a, b);
+        assert_eq!(link.rerouted, 5);
+        assert_eq!(link.quarantine_sheds, 1);
+        assert_eq!(fabric.drop_reasons(b).quarantined, 1);
+        // Clearing the quarantine re-exposes the lossy link.
+        fabric.clear_quarantine(a, b);
+        fabric.transmit(&mut sim, 0, packet(a, b, 500)).unwrap();
+        sim.run();
+        assert_eq!(fabric.stats().lossy_drops, 1);
+    }
+
+    #[test]
+    fn quarantine_without_alternate_degrades_in_place() {
+        // Two hosts: no alternate path. Transport keeps using the sick
+        // link (degraded mode); best-effort is still shed.
+        let mut sim = Sim::new();
+        let (fabric, a, b) = two_hosts(0.0);
+        fabric.quarantine_link(a, b);
+        let tp = packet(a, b, 500).with_qos(QosClass::Transport);
+        fabric.transmit(&mut sim, 0, tp).unwrap();
+        let be = packet(a, b, 500).with_qos(QosClass::BestEffort);
+        fabric.transmit(&mut sim, 0, be).unwrap();
+        sim.run();
+        let s = fabric.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.rerouted, 0, "no third host, no alternate path");
+        assert_eq!(s.quarantine_sheds, 1);
     }
 
     #[test]

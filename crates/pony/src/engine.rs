@@ -123,6 +123,12 @@ pub struct PonyStats {
     /// Transport-class ops refused with `Busy` under Hard pressure or a
     /// denied per-send quota charge (back-pressure, never silent drop).
     pub busy_rejected: u64,
+    /// Hedge duplicates recognized by the per-session op watermark and
+    /// absorbed without re-execution (exactly-once).
+    pub hedge_dups: u64,
+    /// Early retransmits triggered by hedge duplicates (the hedge's
+    /// actual recovery action on the wire).
+    pub hedge_retransmits: u64,
 }
 
 struct ConnState {
@@ -196,6 +202,19 @@ struct PendingOp {
     trace: Option<TraceContext>,
 }
 
+/// The connection an application command targets (every command names
+/// one).
+fn cmd_conn(cmd: &PonyCommand) -> u64 {
+    match cmd {
+        PonyCommand::Send { conn, .. }
+        | PonyCommand::Read { conn, .. }
+        | PonyCommand::Write { conn, .. }
+        | PonyCommand::IndirectRead { conn, .. }
+        | PonyCommand::ScanRead { conn, .. }
+        | PonyCommand::PostRecvBuffers { conn, .. } => *conn,
+    }
+}
+
 /// The Pony Express engine.
 pub struct PonyEngine {
     cfg: PonyEngineConfig,
@@ -215,6 +234,12 @@ pub struct PonyEngine {
     /// Sessions bootstrapped against THIS engine; the shared table may
     /// hold other engines' sessions too.
     owned_sessions: Vec<u64>,
+    /// Highest op id seen per session. Client op ids are strictly
+    /// increasing over the (FIFO) command queue, so a non-fresh id can
+    /// only be a hedge resubmit: it is absorbed without re-execution,
+    /// preserving exactly-once under hedging. Checkpointed so the
+    /// guarantee survives a restart with hedges still in flight.
+    session_watermarks: HashMap<u64, u64>,
     stats: PonyStats,
     /// Wake callback for self-arming timers (pacing/RTO); set by the
     /// module after registration.
@@ -274,6 +299,7 @@ impl PonyEngine {
             recv_msgs: HashMap::new(),
             pending_ops: HashMap::new(),
             owned_sessions: Vec::new(),
+            session_watermarks: HashMap::new(),
             stats: PonyStats::default(),
             wake: None,
             timer: None,
@@ -710,6 +736,23 @@ impl PonyEngine {
         session: u64,
     ) -> Nanos {
         self.stats.commands += 1;
+        // Hedge dedup: op ids are strictly increasing per session, so
+        // an id at or below the watermark is a client hedge resubmit of
+        // an op this engine already accepted. Exactly-once demands it
+        // never re-execute; instead the duplicate carries a signal —
+        // the client thinks the op is slow — so nudge its flow into an
+        // early retransmit of the oldest unacked frame.
+        let wm = self.session_watermarks.entry(session).or_insert(0);
+        if op <= *wm {
+            self.stats.hedge_dups += 1;
+            self.finish_trace(trace, now);
+            let flow_id = self.conns.get(&cmd_conn(&cmd)).map(|c| c.flow);
+            if let Some(flow) = flow_id.and_then(|fid| self.flows.get_mut(&fid)) {
+                self.stats.hedge_retransmits += flow.hedge_retransmit(now) as u64;
+            }
+            return Nanos(costs::PONY_PER_OP_NS);
+        }
+        *wm = op;
         let session = Some(session);
         // The gap from the client-enqueue stamp to this one is the op's
         // engine scheduling delay — the quantity §5's modes trade off.
@@ -1614,6 +1657,14 @@ impl Engine for PonyEngine {
                 .u64(p.session.unwrap_or(0))
                 .u64(p.issued_at.as_nanos());
         }
+        // Per-session hedge-dedup watermarks: without them a hedge
+        // duplicate arriving after a restart would re-execute its op.
+        w.u32(self.session_watermarks.len() as u32);
+        let mut sids: Vec<u64> = self.session_watermarks.keys().copied().collect();
+        sids.sort_unstable();
+        for sid in sids {
+            w.u64(sid).u64(self.session_watermarks[&sid]);
+        }
         w.finish()
     }
 
@@ -1834,6 +1885,12 @@ impl PonyEngine {
                     trace: None,
                 },
             );
+        }
+        let nwm = r.u32()?;
+        for _ in 0..nwm {
+            let sid = r.u64()?;
+            let wm = r.u64()?;
+            engine.session_watermarks.insert(sid, wm);
         }
         Ok(engine)
     }

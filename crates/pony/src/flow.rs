@@ -337,6 +337,31 @@ impl Flow {
         n
     }
 
+    /// Hedge nudge: re-queues the oldest unacked in-flight frame
+    /// immediately, without waiting for its RTO and — unlike
+    /// [`Flow::check_rto`] — without a loss signal to congestion
+    /// control: the hedge is speculative (the packet may merely be
+    /// jittered), and halving cwnd on every hedge would turn a
+    /// lossy-but-alive link into a throughput collapse. Frames younger
+    /// than a quarter RTO are left alone (their first copy is still
+    /// plausibly in flight). Returns how many frames were re-queued
+    /// (0 or 1).
+    pub fn hedge_retransmit(&mut self, now: Nanos) -> usize {
+        let min_age = Nanos(self.rto().as_nanos() / 4);
+        let victim = self
+            .inflight
+            .iter()
+            .find(|(_, i)| now.saturating_sub(i.sent_at) >= min_age)
+            .map(|(&s, _)| s);
+        let Some(seq) = victim else { return 0 };
+        if let Some(inf) = self.inflight.remove(&seq) {
+            self.rtxq.push_back((seq, inf.frame, inf.retransmits));
+            1
+        } else {
+            0
+        }
+    }
+
     /// Serializes flow state for transparent upgrade: sequence state,
     /// receive window, and all queued/unacked frames (which re-enter
     /// the outq in the new version — retransmission semantics make
@@ -594,6 +619,31 @@ mod tests {
         assert_eq!(retx.seq, 0, "retransmission reuses the sequence number");
         assert_eq!(tx.stats().retransmits, 1);
         assert_eq!(tx.inflight(), 1, "back in flight");
+    }
+
+    #[test]
+    fn hedge_retransmit_requeues_early_without_loss_signal() {
+        let mut tx = flow();
+        tx.enqueue(msg_frame(1), Nanos::ZERO);
+        let _pkt = tx.produce(Nanos::ZERO).unwrap();
+        let rate_before = tx.cc().rate();
+        // Too young: the first copy is still plausibly in flight.
+        assert_eq!(tx.hedge_retransmit(Nanos(1)), 0);
+        // Old enough (past a quarter RTO) but well before the RTO
+        // itself: the hedge requeues it...
+        let rto = tx.rto();
+        let mid = Nanos(rto.as_nanos() / 2);
+        assert!(mid < tx.next_rto_deadline().unwrap());
+        assert_eq!(tx.hedge_retransmit(mid), 1);
+        assert_eq!(tx.inflight(), 0);
+        assert_eq!(tx.pending_tx(), 1, "waiting on the retransmit queue");
+        // ...without punishing congestion control (speculative, not a
+        // confirmed loss).
+        assert_eq!(tx.cc().rate(), rate_before, "no loss signal");
+        let retx = tx.produce(mid).unwrap();
+        assert_eq!(retx.seq, 0, "hedge reuses the sequence number");
+        // Nothing left in flight old enough: further hedges are no-ops.
+        assert_eq!(tx.hedge_retransmit(mid), 0);
     }
 
     #[test]

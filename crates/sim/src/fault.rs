@@ -144,6 +144,78 @@ pub enum FaultEvent {
         /// Container name, or `c<k>` for the k-th app on the host.
         container: String,
     },
+    /// A *gray* link: packets `from -> to` are dropped with probability
+    /// `prob` — the link stays up, acks flow, but the loss rate quietly
+    /// destroys tail latency. Unlike [`FaultEvent::CorruptRate`] the
+    /// drop is silent (no CRC evidence reaches the receiver), which is
+    /// what makes it a gray failure: only probing detects it. A `prob`
+    /// of zero heals the link.
+    LinkLossy {
+        /// Source host of the lossy direction.
+        from: u32,
+        /// Destination host of the lossy direction.
+        to: u32,
+        /// Per-packet drop probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// A jittery link: each packet `from -> to` picks up an extra
+    /// log-normally distributed delay (models a congested or
+    /// misbehaving switch port that delays rather than drops). A
+    /// zero-median distribution heals the link.
+    LinkJitter {
+        /// Source host of the jittery direction.
+        from: u32,
+        /// Destination host of the jittery direction.
+        to: u32,
+        /// Parameters of the extra per-packet delay.
+        dist: JitterDist,
+    },
+    /// A PFC pause storm against `host` (§5.4's pause-frame pathology):
+    /// the switch stops serializing toward the host for `duration`, so
+    /// traffic queues head-of-line in the egress buffer and spills into
+    /// buffer-full drops under load. Self-healing: the storm ends when
+    /// `duration` elapses.
+    PauseStorm {
+        /// Host whose ingress direction is paused.
+        host: u32,
+        /// How long the pause storm lasts.
+        duration: Nanos,
+    },
+    /// Slow an engine down by `factor`: every scheduling pass costs
+    /// `factor` times the modeled CPU (a degrading process — heap
+    /// fragmentation, a leaking cache, a throttled core). The engine
+    /// still makes progress, just late: the canonical slow-but-alive
+    /// gray failure. A factor of `1.0` heals it; a restart also clears
+    /// it (fresh process).
+    EngineSlowdown {
+        /// Host owning the engine group.
+        host: u32,
+        /// Engine slot within the group.
+        engine: u32,
+        /// CPU cost multiplier, `>= 1.0` to slow down.
+        factor: f64,
+    },
+}
+
+/// Parameters of a log-normal extra-delay distribution used by
+/// [`FaultEvent::LinkJitter`]: the median added delay and the shape
+/// parameter sigma (larger sigma → heavier tail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterDist {
+    /// Median extra delay added per packet.
+    pub median: Nanos,
+    /// Log-normal sigma; `0.5` is a mild tail, `1.5` a brutal one.
+    pub sigma: f64,
+}
+
+impl JitterDist {
+    /// A distribution that adds no delay — the heal value.
+    pub const NONE: JitterDist = JitterDist { median: Nanos::ZERO, sigma: 0.0 };
+
+    /// True if this distribution adds no delay.
+    pub fn is_none(&self) -> bool {
+        self.median.is_zero()
+    }
 }
 
 /// A time-ordered script of fault events.
@@ -201,7 +273,7 @@ impl FaultPlan {
             // Transient faults last 1-10% of the horizon.
             let dur = Nanos(horizon.as_nanos() / 100 * (1 + rng.below(10)));
             let end = Nanos((at + dur).as_nanos().min(horizon.as_nanos()));
-            match rng.below(7) {
+            match rng.below(11) {
                 0 => plan = plan.at(at, FaultEvent::EngineCrash { host, engine }),
                 1 => {
                     plan = plan.at(at, FaultEvent::EngineStall { host, engine, duration: dur });
@@ -227,6 +299,46 @@ impl FaultPlan {
                     plan = plan
                         .at(at, FaultEvent::CorruptRate { prob })
                         .at(end, FaultEvent::CorruptRate { prob: 0.0 });
+                }
+                6 => {
+                    // Gray loss: 1-25% silent drop, always healed.
+                    let other = (host + 1 + rng.below((hosts - 1) as u64) as u32) % hosts;
+                    let prob = (1 + rng.below(25)) as f64 / 100.0;
+                    plan = plan
+                        .at(at, FaultEvent::LinkLossy { from: host, to: other, prob })
+                        .at(end, FaultEvent::LinkLossy { from: host, to: other, prob: 0.0 });
+                }
+                7 => {
+                    // Gray jitter: median 5-50us extra delay, sigma up
+                    // to 1.5, always healed.
+                    let other = (host + 1 + rng.below((hosts - 1) as u64) as u32) % hosts;
+                    let dist = JitterDist {
+                        median: Nanos::from_micros(5 * (1 + rng.below(10))),
+                        sigma: (5 + rng.below(11)) as f64 / 10.0,
+                    };
+                    plan = plan
+                        .at(at, FaultEvent::LinkJitter { from: host, to: other, dist })
+                        .at(
+                            end,
+                            FaultEvent::LinkJitter {
+                                from: host,
+                                to: other,
+                                dist: JitterDist::NONE,
+                            },
+                        );
+                }
+                8 => {
+                    // PFC pause storm: self-healing, clamped inside the
+                    // horizon like every other transient fault.
+                    let duration = end.saturating_sub(at).max(Nanos(1));
+                    plan = plan.at(at, FaultEvent::PauseStorm { host, duration });
+                }
+                9 => {
+                    // Slow-but-alive engine: 2-8x CPU inflation, healed.
+                    let factor = (2 + rng.below(7)) as f64;
+                    plan = plan
+                        .at(at, FaultEvent::EngineSlowdown { host, engine, factor })
+                        .at(end, FaultEvent::EngineSlowdown { host, engine, factor: 1.0 });
                 }
                 _ => {
                     // Squeeze 50-94% of the quota, released before the
@@ -339,6 +451,9 @@ mod tests {
         let mut open: Vec<(u32, u32)> = Vec::new();
         let mut open_oneway: Vec<(u32, u32)> = Vec::new();
         let mut open_pressure: Vec<(u32, String)> = Vec::new();
+        let mut open_lossy: Vec<(u32, u32)> = Vec::new();
+        let mut open_jitter: Vec<(u32, u32)> = Vec::new();
+        let mut open_slow: Vec<(u32, u32)> = Vec::new();
         let mut entries = plan.entries().to_vec();
         entries.sort_by_key(|(at, _)| *at);
         for (_, ev) in &entries {
@@ -366,19 +481,55 @@ mod tests {
                         .expect("pressure release matches");
                     open_pressure.remove(idx);
                 }
+                FaultEvent::LinkLossy { from, to, prob } => {
+                    if *prob > 0.0 {
+                        open_lossy.push((*from, *to));
+                    } else {
+                        let idx = open_lossy
+                            .iter()
+                            .position(|p| p == &(*from, *to))
+                            .expect("lossy heal matches");
+                        open_lossy.remove(idx);
+                    }
+                }
+                FaultEvent::LinkJitter { from, to, dist } => {
+                    if !dist.is_none() {
+                        open_jitter.push((*from, *to));
+                    } else {
+                        let idx = open_jitter
+                            .iter()
+                            .position(|p| p == &(*from, *to))
+                            .expect("jitter heal matches");
+                        open_jitter.remove(idx);
+                    }
+                }
+                FaultEvent::EngineSlowdown { host, engine, factor } => {
+                    if *factor > 1.0 {
+                        open_slow.push((*host, *engine));
+                    } else {
+                        let idx = open_slow
+                            .iter()
+                            .position(|p| p == &(*host, *engine))
+                            .expect("slowdown heal matches");
+                        open_slow.remove(idx);
+                    }
+                }
                 _ => {}
             }
         }
         assert!(open.is_empty(), "unhealed partitions: {open:?}");
         assert!(open_oneway.is_empty(), "unhealed one-way partitions: {open_oneway:?}");
         assert!(open_pressure.is_empty(), "unreleased squeezes: {open_pressure:?}");
+        assert!(open_lossy.is_empty(), "unhealed lossy links: {open_lossy:?}");
+        assert!(open_jitter.is_empty(), "unhealed jittery links: {open_jitter:?}");
+        assert!(open_slow.is_empty(), "unhealed slowdowns: {open_slow:?}");
     }
 
     #[test]
     fn randomized_plans_include_memory_pressure() {
-        // With enough draws the 7-way fault mix must squeeze someone
+        // With enough draws the 11-way fault mix must squeeze someone
         // (fixed seed keeps this stable).
-        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 60);
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 120);
         let squeezes: Vec<_> = plan
             .entries()
             .iter()
@@ -422,15 +573,56 @@ mod tests {
 
     #[test]
     fn randomized_plans_include_oneway_partitions() {
-        // With enough draws the 7-way fault mix must produce at least
+        // With enough draws the 11-way fault mix must produce at least
         // one asymmetric partition (fixed seed keeps this stable).
-        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 60);
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 120);
         assert!(
             plan.entries()
                 .iter()
                 .any(|(_, ev)| matches!(ev, FaultEvent::PartitionOneWay { .. })),
-            "no one-way partition in 60 draws"
+            "no one-way partition in 120 draws"
         );
+    }
+
+    #[test]
+    fn randomized_plans_draw_every_gray_fault_arm() {
+        // The gray arms (lossy link, jitter, pause storm, slowdown) are
+        // all reachable from a randomized plan; fixed seed + enough
+        // draws keeps each arm present. Gray faults never target a
+        // host/link outside the requested topology, and their
+        // magnitudes stay in the documented ranges.
+        let plan = FaultPlan::randomized(42, Nanos::from_millis(50), 3, 2, 120);
+        let (mut lossy, mut jitter, mut storm, mut slow) = (0, 0, 0, 0);
+        for (_, ev) in plan.entries() {
+            match ev {
+                FaultEvent::LinkLossy { from, to, prob } => {
+                    lossy += 1;
+                    assert!(*from < 3 && *to < 3 && from != to);
+                    assert!((0.0..=0.25).contains(prob), "prob {prob}");
+                }
+                FaultEvent::LinkJitter { from, to, dist } => {
+                    jitter += 1;
+                    assert!(*from < 3 && *to < 3 && from != to);
+                    assert!(dist.sigma <= 1.5, "sigma {}", dist.sigma);
+                    assert!(dist.median <= Nanos::from_micros(50));
+                }
+                FaultEvent::PauseStorm { host, duration } => {
+                    storm += 1;
+                    assert!(*host < 3);
+                    assert!(!duration.is_zero());
+                }
+                FaultEvent::EngineSlowdown { host, engine, factor } => {
+                    slow += 1;
+                    assert!(*host < 3 && *engine < 2);
+                    assert!((1.0..=8.0).contains(factor), "factor {factor}");
+                }
+                _ => {}
+            }
+        }
+        assert!(lossy > 0, "no lossy-link arm in 120 draws");
+        assert!(jitter > 0, "no jitter arm in 120 draws");
+        assert!(storm > 0, "no pause-storm arm in 120 draws");
+        assert!(slow > 0, "no slowdown arm in 120 draws");
     }
 
     #[test]

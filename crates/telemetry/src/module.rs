@@ -38,6 +38,7 @@ use snap_core::module::{ControlCx, ControlError, Module};
 use snap_core::supervisor::{RestartKind, Supervisor};
 use snap_core::upgrade::UpgradeReport;
 use snap_core::{Engine, EngineId};
+use snap_health::{HealthMonitor, Target, Verdict};
 use snap_isolation::AdmissionController;
 use snap_nic::fabric::{DropReasons, FabricHandle, FabricStats, LinkStats};
 use snap_nic::HostId;
@@ -128,6 +129,11 @@ struct TraceLogWatch {
     last_dropped: u64,
 }
 
+struct HealthWatch {
+    label: String,
+    monitor: Rc<RefCell<HealthMonitor>>,
+}
+
 struct Inner {
     cfg: StatsConfig,
     engines: Vec<EngineWatch>,
@@ -137,6 +143,7 @@ struct Inner {
     admissions: Vec<AdmissionWatch>,
     groups: Vec<GroupWatch>,
     trace_logs: Vec<TraceLogWatch>,
+    healths: Vec<HealthWatch>,
     running: bool,
 }
 
@@ -162,6 +169,7 @@ impl StatsModule {
                 admissions: Vec::new(),
                 groups: Vec::new(),
                 trace_logs: Vec::new(),
+                healths: Vec::new(),
                 running: false,
             })),
         }
@@ -263,6 +271,20 @@ impl StatsModule {
         });
     }
 
+    /// Watches a gray-failure health monitor: each poll publishes
+    /// per-target gauges under `health.<label>.<target>.*` — `phi_m`
+    /// (phi × 1000), `loss_m` (loss ratio × 1000), `degradation_m`
+    /// (latency over baseline × 1000) and `verdict` (0 healthy /
+    /// 1 degraded / 2 failed) — plus a `health.<label>.latched` gauge
+    /// counting targets a sweep has quarantined. Link targets label as
+    /// `link.<from>-<to>`, engines as `engine.h<host>.e<id>`.
+    pub fn watch_health(&self, label: &str, monitor: Rc<RefCell<HealthMonitor>>) {
+        self.inner.borrow_mut().healths.push(HealthWatch {
+            label: label.to_string(),
+            monitor,
+        });
+    }
+
     /// Starts the periodic poll loop (first tick one period from now).
     pub fn start(&self, sim: &mut Sim) {
         let period = {
@@ -320,6 +342,9 @@ impl StatsModule {
         for w in &mut inner.trace_logs {
             poll_trace_log(&self.registry, w);
         }
+        for w in &inner.healths {
+            poll_health(&self.registry, w, sim.now());
+        }
         self.registry.counter("stats.polls").inc();
     }
 
@@ -371,6 +396,12 @@ fn ingest_engine(registry: &Registry, w: &mut EngineWatch) {
     scope
         .counter("busy_rejected")
         .add(delta(s.busy_rejected, l.busy_rejected));
+    scope
+        .counter("hedge_dups")
+        .add(delta(s.hedge_dups, l.hedge_dups));
+    scope
+        .counter("hedge_retransmits")
+        .add(delta(s.hedge_retransmits, l.hedge_retransmits));
     w.last = sample.stats;
 
     let shm = registry.scoped(&format!("shm.{}", w.label));
@@ -502,12 +533,46 @@ fn poll_supervisor(
         match rec.kind {
             RestartKind::Crash => scope.counter("restarts.crash").inc(),
             RestartKind::Wedge => scope.counter("restarts.wedge").inc(),
+            RestartKind::Quarantine => scope.counter("restarts.quarantine").inc(),
         }
         scope.histogram("blackout").record_nanos(blackout);
         if let Some(slot) = w.ingested.get_mut(i) {
             *slot = true;
         }
     }
+}
+
+fn target_label(t: Target) -> String {
+    match t {
+        Target::Link { from, to } => format!("link.{from}-{to}"),
+        Target::Engine { host, engine } => format!("engine.h{host}.e{engine}"),
+    }
+}
+
+fn poll_health(registry: &Registry, w: &HealthWatch, now: Nanos) {
+    let monitor = w.monitor.borrow();
+    let mut latched = 0i64;
+    for target in monitor.targets() {
+        let Some(score) = monitor.score(target, now) else {
+            continue;
+        };
+        let scope = registry.scoped(&format!("health.{}.{}", w.label, target_label(target)));
+        let milli = |v: f64| (v * 1000.0).clamp(0.0, i64::MAX as f64) as i64;
+        scope.gauge("phi_m").set(milli(score.phi));
+        scope.gauge("loss_m").set(milli(score.loss_ratio));
+        scope.gauge("degradation_m").set(milli(score.degradation));
+        scope.gauge("verdict").set(match score.verdict {
+            Verdict::Healthy => 0,
+            Verdict::Degraded => 1,
+            Verdict::Failed => 2,
+        });
+        if monitor.latched(target) {
+            latched += 1;
+        }
+    }
+    registry
+        .gauge(&format!("health.{}.latched", w.label))
+        .set(latched);
 }
 
 fn poll_upgrade(registry: &Registry, w: &mut UpgradeWatch) {

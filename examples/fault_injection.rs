@@ -10,12 +10,18 @@
 //! the squeeze, best-effort work is shed (attributed, not silently
 //! dropped) while transport work keeps flowing.
 //!
+//! A closing *gray-failure* episode turns the link 30% lossy — alive,
+//! so no liveness check ever fires — and shows the health rig's
+//! in-band probes scoring and quarantining it while hedged retries
+//! keep the last burst flowing, still exactly once.
+//!
 //! Run with: `cargo run --example fault_injection`
 
 use snap_repro::core::supervisor::SupervisorConfig;
+use snap_repro::health_rig::HealthRigConfig;
 use snap_repro::isolation::QuotaPolicy;
 use snap_repro::nic::packet::QosClass;
-use snap_repro::pony::client::{OpStatus, PonyCommand, PonyCompletion};
+use snap_repro::pony::client::{HedgeConfig, OpStatus, PonyCommand, PonyCompletion};
 use snap_repro::shm::region::AccessMode;
 use snap_repro::sim::fault::{FaultEvent, FaultPlan};
 use snap_repro::sim::Nanos;
@@ -159,11 +165,46 @@ fn main() {
         recv(&mut srv, &mut got);
     }
 
+    // --- Gray-failure episode --------------------------------------
+    // The link goes 30% lossy but stays alive: every liveness check
+    // keeps passing. The health rig's in-band RTT probes accumulate
+    // loss evidence and quarantine the directed pair; hedged retries
+    // on the sender retransmit stragglers early so the final burst
+    // still lands exactly once without waiting out full RTOs.
+    let rig = tb.health_rig(HealthRigConfig::default());
+    rig.start(&mut tb.sim);
+    app.enable_hedging(HedgeConfig::default());
+    let gray = FaultPlan::new().at(
+        tb.sim.now() + Nanos::from_millis(5),
+        FaultEvent::LinkLossy { from: 0, to: 1, prob: 0.3 },
+    );
+    tb.install_fault_plan(&gray);
+    for _ in 0..10 {
+        app.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 20_000 });
+        tb.run_ms(2);
+        recv(&mut srv, &mut got);
+    }
+    while tb.sim.now() < Nanos::from_millis(3_200) {
+        tb.run_ms(5);
+        recv(&mut srv, &mut got);
+    }
+    rig.stop();
+    let gray_links = rig.quarantined_links();
+    println!(
+        "gray episode: quarantined links {:?}, hedges fired {}",
+        gray_links,
+        app.hedge_stats().map(|h| h.hedges_fired).unwrap_or(0)
+    );
+    assert!(
+        gray_links.contains(&(0, 1)),
+        "the detector must quarantine the lossy-but-alive link"
+    );
+
     stats.stop();
     println!(
-        "delivered {}/30 messages, in order: {}",
+        "delivered {}/40 messages, in order: {}",
         got.len(),
-        got == (0..30).collect::<Vec<u64>>()
+        got == (0..40).collect::<Vec<u64>>()
     );
     // The final dashboards: engine op counters, restart/blackout
     // telemetry, and per-link drop attribution from one stats
@@ -172,7 +213,7 @@ fn main() {
     println!("quota table:\n{}", quota.table());
     println!("pressure transitions:\n{}", quota.transition_log());
     let snap = stats.snapshot(tb.sim.now());
-    assert_eq!(got, (0..30).collect::<Vec<u64>>());
+    assert_eq!(got, (0..40).collect::<Vec<u64>>());
     assert_eq!(snap.counter("engine.h0.frontend.restarts.crash"), Some(1));
     assert!(snap.counter("fabric.host1.drops.corruption").unwrap_or(0) > 0);
     let adm = quota.admission();
@@ -185,6 +226,7 @@ fn main() {
         "pressure transitions were logged"
     );
     println!(
-        "recovered from crash + partition + corruption + memory squeeze — exactly once, in order"
+        "recovered from crash + partition + corruption + memory squeeze + gray loss — \
+         exactly once, in order"
     );
 }

@@ -6,6 +6,7 @@
 #   bench.sh pr3 [out]  — telemetry overhead only (default BENCH_pr3.json)
 #   bench.sh pr4 [out]  — admission overhead only (default BENCH_pr4.json)
 #   bench.sh pr5 [out]  — trace overhead only (default BENCH_pr5.json)
+#   bench.sh pr6 [out]  — gray-failure health only (default BENCH_pr6.json)
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
@@ -17,6 +18,11 @@
 # pr5: the same workload at trace sampling disabled/0%/1%/100%; with
 #      sampling off the modeled schedule must match the untraced run
 #      exactly, and the rate itself must never steer the model.
+# pr6: closed-loop streaming bare vs with the gray-failure detector
+#      (health rig + supervisor + hedging) attached on a healthy rack —
+#      modeled op outcomes must be identical with zero quarantines —
+#      plus a lossy-link ablation where hedged retries must cut the
+#      streaming p99 while delivery stays exactly-once.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -47,12 +53,18 @@ run_pr5() {
     cargo run --release -q -p snap-bench --bin bench_trace "${1:-BENCH_pr5.json}"
 }
 
+run_pr6() {
+    cargo build --release -p snap-bench --bin bench_health
+    cargo run --release -q -p snap-bench --bin bench_health "${1:-BENCH_pr6.json}"
+}
+
 case "$mode" in
     all)
         run_pr2
         run_pr3
         run_pr4
         run_pr5
+        run_pr6
         ;;
     pr2)
         run_pr2 "${2:-}"
@@ -65,6 +77,9 @@ case "$mode" in
         ;;
     pr5)
         run_pr5 "${2:-}"
+        ;;
+    pr6)
+        run_pr6 "${2:-}"
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

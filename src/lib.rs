@@ -22,4 +22,7 @@ pub use snap_sim as sim;
 pub use snap_tcp as tcp;
 pub use snap_telemetry as telemetry;
 
+pub use snap_health as health;
+
+pub mod health_rig;
 pub mod testbed;

@@ -25,6 +25,8 @@ use snap_shm::region::RegionRegistry;
 use snap_sim::fault::{FaultEvent, FaultPlan};
 use snap_sim::trace::TraceRecorder;
 use snap_sim::{Nanos, Sim};
+
+use crate::health_rig::{HealthRig, HealthRigConfig, PROBER_APP};
 use snap_telemetry::{StatsConfig, StatsModule, TraceModule};
 use snap_tcp::stack::{TcpConfig, TcpHost};
 
@@ -323,6 +325,20 @@ impl Testbed {
                     }
                 }
             }
+            FaultEvent::LinkLossy { from, to, prob } => {
+                fabric.set_link_loss(from, to, prob);
+            }
+            FaultEvent::LinkJitter { from, to, dist } => {
+                fabric.set_link_jitter(from, to, dist.median, dist.sigma);
+            }
+            FaultEvent::PauseStorm { host, duration } => {
+                fabric.pause_host(host, sim.now() + duration);
+            }
+            FaultEvent::EngineSlowdown { host, engine, factor } => {
+                if let Some(g) = groups.get(host as usize) {
+                    g.slow_engine(EngineId(engine), factor);
+                }
+            }
         });
     }
 
@@ -341,6 +357,81 @@ impl Testbed {
                 .clone()
                 .expect("testbed built with admission enabled"),
         )
+    }
+
+    /// Builds the rack's prober + gray-failure-detection loop: a
+    /// prober engine on every host, probing every directed link with
+    /// small one-sided Reads, feeding a shared
+    /// [`snap_health::HealthMonitor`], with a sweep loop that
+    /// quarantines degraded links on the fabric. Call
+    /// [`Testbed::health_watch_app`] to additionally probe (and
+    /// proactively restart) workload engines, then
+    /// [`HealthRig::start`]. Requires at least two hosts.
+    pub fn health_rig(&mut self, cfg: HealthRigConfig) -> HealthRig {
+        let probe_len = cfg.probe_len;
+        let rig = HealthRig::new(cfg, self.fabric.clone());
+        // Pass 1: a prober engine and a probe-target region per host.
+        let mut regions = Vec::with_capacity(self.hosts.len());
+        for host in &mut self.hosts {
+            host.module.create_engine(PROBER_APP, |_| {});
+            regions.push(crate::health_rig::register_probe_region(
+                &host.regions,
+                probe_len,
+            ));
+        }
+        // Pass 2: one prober session per host, one connection per
+        // directed pair (each direction probes independently, since
+        // gray faults are directional).
+        for i in 0..self.hosts.len() {
+            let client = self.hosts[i]
+                .module
+                .open_session(PROBER_APP, 4096)
+                .expect("prober engine just created");
+            let mut peers = Vec::new();
+            for (j, &region) in regions.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let remote = self.hosts[j].id;
+                let conn = self.hosts[i]
+                    .module
+                    .connect(PROBER_APP, remote, PROBER_APP)
+                    .expect("prober apps registered on every host");
+                peers.push((remote, conn, region));
+            }
+            let from = self.hosts[i].id;
+            rig.add_link_prober(from, client, peers);
+        }
+        rig
+    }
+
+    /// Adds a gray-failure probe on `app`'s (already supervised)
+    /// workload engine: a second session submits no-op buffer posts
+    /// whose dequeue latency senses slowdowns, and a degraded verdict
+    /// makes `supervisor` proactively rebuild the engine from its last
+    /// checkpoint.
+    pub fn health_watch_app(
+        &mut self,
+        rig: &HealthRig,
+        host: usize,
+        app: &str,
+        supervisor: &Supervisor,
+    ) {
+        let engine_id = self.hosts[host]
+            .module
+            .engine_for(app)
+            .expect("app has an engine");
+        let client = self.hosts[host]
+            .module
+            .open_session(app, 1024)
+            .expect("app registered");
+        rig.add_engine_probe(
+            host as u32,
+            engine_id,
+            client,
+            self.hosts[host].group.clone(),
+            supervisor.clone(),
+        );
     }
 
     /// Puts an app's engine on `host` under supervision: periodic

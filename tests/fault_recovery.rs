@@ -276,6 +276,98 @@ fn successor_crash_mid_upgrade_rolls_back_within_blackout_budget() {
 // snapshots must fail with a typed error — the supervisor's fresh-start
 // fallback and the upgrade rollback both depend on it never panicking.
 proptest! {
+    /// Gray faults end to end: a lossy-but-alive link plus a PFC pause
+    /// storm, with hedged retries enabled on the sender and a
+    /// quarantine rebuild of the sender engine mid-run. Every message
+    /// must still arrive exactly once, in order — hedge duplicates are
+    /// absorbed by the engine's per-session op watermark, and the
+    /// watermark itself survives the checkpoint/restore cycle.
+    #[test]
+    fn gray_faults_with_hedging_and_quarantine_preserve_exactly_once(
+        loss_pm in 20u64..250,
+        storm_at_us in 500u64..3_000,
+        storm_us in 200u64..2_000,
+    ) {
+        use snap_repro::pony::client::HedgeConfig;
+
+        let loss = loss_pm as f64 / 1000.0;
+
+        let mut tb = Testbed::pair();
+        let mut a = tb.pony_app(0, "src", |_| {});
+        a.enable_hedging(HedgeConfig::default());
+        let mut b = tb.pony_app(1, "sink", |_| {});
+        let conn = tb.connect(0, "src", 1, "sink");
+        let sup = tb.supervise_app(
+            0,
+            "src",
+            SupervisorConfig {
+                checkpoint_interval: Nanos::from_millis(1),
+                restart_cost: Nanos::from_micros(200),
+                ..SupervisorConfig::default()
+            },
+        );
+        let engine = tb.hosts[0].module.engine_for("src").expect("app exists");
+
+        let plan = FaultPlan::new()
+            .at(Nanos(1), FaultEvent::LinkLossy { from: 0, to: 1, prob: loss })
+            .at(
+                Nanos::from_micros(storm_at_us),
+                FaultEvent::PauseStorm {
+                    host: 1,
+                    duration: Nanos::from_micros(storm_us),
+                },
+            );
+        tb.install_fault_plan(&plan);
+
+        const MSGS: u64 = 40;
+        let mut got = Vec::new();
+        let send_phase = |tb: &mut Testbed,
+                              a: &mut snap_repro::pony::PonyClient,
+                              b: &mut snap_repro::pony::PonyClient,
+                              got: &mut Vec<u64>,
+                              n: u64| {
+            for _ in 0..n {
+                a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 1500 });
+                tb.run_us(150);
+                let now = tb.sim.now();
+                a.take_completions_at(now);
+                recv_msgs(b, got);
+            }
+        };
+        // Phase 1 under faults, then drain to a quiet window so the
+        // checkpoint the quarantine rebuilds from is complete.
+        send_phase(&mut tb, &mut a, &mut b, &mut got, MSGS / 2);
+        let deadline = tb.sim.now() + Nanos::from_millis(200);
+        while (got.len() as u64) < MSGS / 2 && tb.sim.now() < deadline {
+            tb.run_ms(2);
+            let now = tb.sim.now();
+            a.take_completions_at(now);
+            recv_msgs(&mut b, &mut got);
+        }
+        tb.run_ms(3); // a checkpoint pass captures the quiesced state
+
+        // Proactive quarantine rebuild (what the health sweep does on a
+        // Degraded verdict), then phase 2 under the same lossy link.
+        prop_assert!(sup.quarantine(&mut tb.sim, &tb.hosts[0].group, engine));
+        tb.run_ms(2);
+        send_phase(&mut tb, &mut a, &mut b, &mut got, MSGS / 2);
+        let deadline = tb.sim.now() + Nanos::from_millis(500);
+        while (got.len() as u64) < MSGS && tb.sim.now() < deadline {
+            tb.run_ms(2);
+            let now = tb.sim.now();
+            a.take_completions_at(now);
+            recv_msgs(&mut b, &mut got);
+        }
+
+        prop_assert_eq!(
+            got,
+            (0..MSGS).collect::<Vec<u64>>(),
+            "exactly once, in order, despite loss {} + storm + quarantine",
+            loss
+        );
+        prop_assert_eq!(sup.report().quarantine_restarts, 1);
+    }
+
     /// Truncating or bit-flipping a serialized flow snapshot must
     /// produce `Err` (or a benign `Ok`), never a panic.
     #[test]
@@ -362,6 +454,37 @@ proptest! {
             Nanos(1),
         );
     }
+}
+
+/// Negative control for gray-failure detection: a healthy rack under
+/// full probing (links and a supervised workload engine) and a live
+/// workload must produce zero quarantines — the detector's warmup,
+/// thresholds, and latching may never fire on nominal behavior.
+#[test]
+fn healthy_run_produces_zero_quarantines() {
+    use snap_repro::health_rig::HealthRigConfig;
+
+    let mut tb = Testbed::pair();
+    let mut a = tb.pony_app(0, "client", |_| {});
+    let _b = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "client", 1, "server");
+    let sup = tb.supervise_app(0, "client", SupervisorConfig::default());
+    let rig = tb.health_rig(HealthRigConfig::default());
+    tb.health_watch_app(&rig, 0, "client", &sup);
+    rig.start(&mut tb.sim);
+
+    for _ in 0..300 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 1000 });
+        tb.run_us(100);
+        a.poll();
+        a.take_completions();
+    }
+    rig.stop();
+    sup.stop();
+    tb.run_ms(2);
+
+    assert_eq!(rig.quarantines(), 0, "no false positives on a healthy rack");
+    assert_eq!(sup.report().restarts(), 0);
 }
 
 /// Shared-engine supervision (§3.1's pre-loaded shared engines): when a
