@@ -1,0 +1,75 @@
+//! Length-prefixed message framing over facade byte streams.
+//!
+//! Workloads speak in frames: a 4-byte little-endian body length
+//! followed by the body (built with `snap_sim::codec`). [`FrameBuf`]
+//! accumulates stream bytes from a socket and yields whole frames;
+//! partial frames wait for more bytes — exactly the reassembly an app
+//! would do over a real socket.
+
+use snap_sim::Sim;
+
+use crate::socket::{SnapSocket, SocketError};
+
+/// Wraps `body` into a wire frame, padding the body with zeros up to
+/// `pad_to` bytes so a workload can model request/reply sizes larger
+/// than their headers (readers ignore the padding).
+pub fn frame(mut body: Vec<u8>, pad_to: usize) -> Vec<u8> {
+    if body.len() < pad_to {
+        body.resize(pad_to, 0);
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Reassembles frames from a facade byte stream.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl FrameBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Drains every byte currently available on `sock` into the buffer.
+    pub fn pull(&mut self, sim: &mut Sim, sock: &SnapSocket) -> Result<(), SocketError> {
+        let mut scratch = [0u8; 2048];
+        loop {
+            let n = sock.try_recv(sim, &mut scratch)?;
+            if n == 0 {
+                return Ok(());
+            }
+            self.buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// Takes the next complete frame body, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let avail = self.buf.len() - self.off;
+        if avail < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes([
+            self.buf[self.off],
+            self.buf[self.off + 1],
+            self.buf[self.off + 2],
+            self.buf[self.off + 3],
+        ]) as usize;
+        if avail < 4 + len {
+            return None;
+        }
+        let start = self.off + 4;
+        let body = self.buf[start..start + len].to_vec();
+        self.off = start + len;
+        if self.off == self.buf.len() {
+            self.buf.clear();
+            self.off = 0;
+        }
+        Some(body)
+    }
+}

@@ -1,0 +1,134 @@
+//! All-to-all RPC driver (paper §5.2): every job fires Poisson
+//! arrivals of large RPCs at uniformly random peers and the run
+//! measures send-completion latency and aggregate delivered
+//! bandwidth. Library form of the loop the `rpc_benchmark` example
+//! used to hand-roll; operates on raw Pony clients because the
+//! benchmark measures the engine itself, not the byte-stream facade.
+
+use snap_pony::client::{PonyClient, PonyCommand, PonyCompletion};
+use snap_sim::dist;
+use snap_sim::stats::Histogram;
+use snap_sim::{Nanos, Rng, Sim};
+
+use crate::SimPump;
+
+/// All-to-all run description.
+#[derive(Debug, Clone, Copy)]
+pub struct AllToAllSpec {
+    /// RPC payload size, bytes.
+    pub rpc_bytes: u64,
+    /// Poisson offered load, RPCs per second per job.
+    pub per_job_rate: f64,
+    /// Virtual run length.
+    pub duration: Nanos,
+    /// Arrival/peer-choice RNG seed.
+    pub seed: u64,
+}
+
+/// All-to-all run outcome.
+pub struct AllToAllReport {
+    /// Payload bytes fully delivered at receivers.
+    pub delivered_bytes: u64,
+    /// Virtual time the run took.
+    pub elapsed: Nanos,
+    /// Send-completion latency (submit → OpDone).
+    pub latency: Histogram,
+}
+
+impl AllToAllReport {
+    /// Aggregate delivered bandwidth over the run, Gbit/s.
+    pub fn gbps(&self) -> f64 {
+        self.delivered_bytes as f64 * 8.0 / self.elapsed.as_secs_f64() / 1e9
+    }
+}
+
+/// Posts `count` receive buffers for every connection in the mesh.
+/// `conns[a][b]` carries `a`'s sends toward `b`, so *`b`* (the
+/// receiver) posts the buffers.
+pub fn post_recv_buffers(
+    sim: &mut Sim,
+    clients: &mut [PonyClient],
+    conns: &[Vec<u64>],
+    count: u32,
+) {
+    for a in 0..conns.len() {
+        for b in 0..conns.len() {
+            if a == b {
+                continue;
+            }
+            let (Some(row), Some(client)) = (conns.get(a), clients.get_mut(b)) else {
+                continue;
+            };
+            let Some(&conn) = row.get(b) else { continue };
+            client.submit(sim, PonyCommand::PostRecvBuffers { conn, count });
+        }
+    }
+}
+
+/// Runs the all-to-all mesh: each job in `clients` fires Poisson
+/// arrivals at `spec.per_job_rate` toward uniformly random peers over
+/// `conns[a][b]`, pumping the fabric in 200 µs slices and draining
+/// completions between slices.
+pub fn run_all_to_all(
+    pump: &mut dyn SimPump,
+    clients: &mut [PonyClient],
+    conns: &[Vec<u64>],
+    spec: AllToAllSpec,
+) -> AllToAllReport {
+    let hosts = clients.len();
+    let mut rng = Rng::new(spec.seed);
+    let mut latency = Histogram::new();
+    let mut next_fire = vec![Nanos::ZERO; hosts];
+    let mut delivered_bytes = 0u64;
+
+    let start = pump.sim_mut().now();
+    let deadline = start + spec.duration;
+    while pump.sim_mut().now() < deadline {
+        let now = pump.sim_mut().now();
+        for a in 0..hosts {
+            let due = next_fire.get(a).is_some_and(|&t| now >= t);
+            if !due {
+                continue;
+            }
+            if let Some(t) = next_fire.get_mut(a) {
+                *t = now + dist::poisson_gap(&mut rng, spec.per_job_rate);
+            }
+            let mut b = rng.below(hosts as u64) as usize;
+            if b == a {
+                b = (b + 1) % hosts;
+            }
+            let Some(&conn) = conns.get(a).and_then(|row| row.get(b)) else {
+                continue;
+            };
+            if let Some(client) = clients.get_mut(a) {
+                client.submit(
+                    pump.sim_mut(),
+                    PonyCommand::Send {
+                        conn,
+                        stream: 0,
+                        len: spec.rpc_bytes,
+                    },
+                );
+            }
+        }
+        pump.pump_us(200);
+        let now = pump.sim_mut().now();
+        for client in clients.iter_mut() {
+            for c in client.take_completions() {
+                match c {
+                    PonyCompletion::OpDone { issued_at, .. } => {
+                        latency.record_nanos(now.saturating_sub(issued_at));
+                    }
+                    PonyCompletion::RecvMsg { len, .. } => {
+                        delivered_bytes += len;
+                    }
+                }
+            }
+        }
+    }
+    AllToAllReport {
+        delivered_bytes,
+        elapsed: pump.sim_mut().now().saturating_sub(start),
+        latency,
+    }
+}

@@ -1,0 +1,164 @@
+//! Streaming workload: an open-loop producer pushes fixed-size
+//! records down a facade byte stream; the consumer verifies every
+//! byte against the deterministic record pattern. Models the
+//! bulk-transfer app in the mixed fleet — throughput-bound, latency
+//! tolerant, and the first to feel quota back-pressure.
+
+use snap_sim::dist;
+use snap_sim::{Nanos, Rng, Sim};
+
+use crate::socket::{SnapSocket, SocketError};
+use crate::SimPump;
+
+/// The expected fill byte at absolute stream offset `off` for
+/// `record_bytes`-sized records: every record is filled with its own
+/// index mod 251.
+pub fn expected_byte(off: u64, record_bytes: usize) -> u8 {
+    ((off / record_bytes.max(1) as u64) % 251) as u8
+}
+
+/// Streaming workload description.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Record size, bytes.
+    pub record_bytes: usize,
+    /// Open-loop record arrival rate, per second.
+    pub rate_per_sec: f64,
+    /// Total records to stream.
+    pub records: u64,
+}
+
+/// Streaming run failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A facade socket failed.
+    Socket(SocketError),
+    /// The virtual-time budget expired before the stream drained.
+    Incomplete {
+        /// Bytes received.
+        received: u64,
+        /// Bytes expected.
+        expected: u64,
+    },
+}
+
+impl From<SocketError> for StreamError {
+    fn from(e: SocketError) -> Self {
+        StreamError::Socket(e)
+    }
+}
+
+/// Aggregated streaming outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamReport {
+    /// Records fully received.
+    pub records: u64,
+    /// Bytes received and verified.
+    pub bytes: u64,
+    /// Bytes that failed pattern verification (0 on a healthy run).
+    pub corrupt_bytes: u64,
+}
+
+/// A producer/consumer pair over one wired facade connection.
+pub struct StreamWorkload {
+    spec: StreamSpec,
+    tx: SnapSocket,
+    rx: SnapSocket,
+    rng: Rng,
+    next_arrival: Option<Nanos>,
+    sent: u64,
+    received_bytes: u64,
+    corrupt_bytes: u64,
+}
+
+impl StreamWorkload {
+    /// Builds the workload over a wired pair: records flow `tx` → `rx`.
+    pub fn new(spec: StreamSpec, tx: SnapSocket, rx: SnapSocket, seed: u64) -> Self {
+        StreamWorkload {
+            spec,
+            tx,
+            rx,
+            rng: Rng::new(seed ^ 0x5742_0001),
+            next_arrival: None,
+            sent: 0,
+            received_bytes: 0,
+            corrupt_bytes: 0,
+        }
+    }
+
+    /// Arms the open-loop arrival process starting at `now`.
+    pub fn begin(&mut self, now: Nanos) {
+        self.next_arrival = Some(now + dist::poisson_gap(&mut self.rng, self.spec.rate_per_sec));
+    }
+
+    /// True once every record's bytes have arrived.
+    pub fn done(&self) -> bool {
+        self.received_bytes >= self.spec.records * self.spec.record_bytes as u64
+    }
+
+    /// One cooperative step (composable under a fleet driver).
+    pub fn tick(&mut self, sim: &mut Sim) -> Result<(), StreamError> {
+        let now = sim.now();
+        while self.sent < self.spec.records {
+            let Some(at) = self.next_arrival else { break };
+            if at > now {
+                break;
+            }
+            let record = vec![(self.sent % 251) as u8; self.spec.record_bytes];
+            self.tx.send(sim, &record)?;
+            self.sent += 1;
+            self.next_arrival = Some(at + dist::poisson_gap(&mut self.rng, self.spec.rate_per_sec));
+        }
+        let mut scratch = [0u8; 2048];
+        loop {
+            let n = self.rx.try_recv(sim, &mut scratch)?;
+            if n == 0 {
+                break;
+            }
+            for (i, &b) in scratch[..n].iter().enumerate() {
+                let off = self.received_bytes + i as u64;
+                if b != expected_byte(off, self.spec.record_bytes) {
+                    self.corrupt_bytes += 1;
+                }
+            }
+            self.received_bytes += n as u64;
+        }
+        Ok(())
+    }
+
+    /// The report over everything received so far (for harnesses that
+    /// drive [`StreamWorkload::tick`] themselves).
+    pub fn summary(&self) -> StreamReport {
+        StreamReport {
+            records: self.received_bytes / self.spec.record_bytes.max(1) as u64,
+            bytes: self.received_bytes,
+            corrupt_bytes: self.corrupt_bytes,
+        }
+    }
+
+    /// Runs to completion or fails when `budget` of virtual time
+    /// elapses first.
+    pub fn run(
+        &mut self,
+        pump: &mut dyn SimPump,
+        budget: Nanos,
+    ) -> Result<StreamReport, StreamError> {
+        let start = pump.sim_mut().now();
+        self.begin(start);
+        let deadline = start + budget;
+        loop {
+            self.tick(pump.sim_mut())?;
+            if self.done() {
+                break;
+            }
+            if pump.sim_mut().now() >= deadline {
+                return Err(StreamError::Incomplete {
+                    received: self.received_bytes,
+                    expected: self.spec.records * self.spec.record_bytes as u64,
+                });
+            }
+            pump.pump_us(5);
+        }
+        Ok(self.summary())
+    }
+}

@@ -76,13 +76,21 @@ pub enum Stage {
     Shed,
     /// Fault artifact: the op was busy-rejected at admission.
     Busy,
+    /// App-layer: a facade frame (request, reply, or stream chunk)
+    /// finished its transport leg and reached the peer application.
+    AppTransport,
+    /// App-layer: a request left a service's run queue and was granted
+    /// a concurrency slot (gap before = app scheduling delay).
+    AppSched,
+    /// App-layer: service handler execution finished for this hop.
+    AppService,
     /// Op completion was posted back to the app.
     Complete,
 }
 
 impl Stage {
     /// Every stage, in canonical rendering order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 17] = [
         Stage::ClientEnqueue,
         Stage::EngineDequeue,
         Stage::NicTx,
@@ -96,6 +104,9 @@ impl Stage {
         Stage::WireCorrupt,
         Stage::Shed,
         Stage::Busy,
+        Stage::AppTransport,
+        Stage::AppSched,
+        Stage::AppService,
         Stage::Complete,
     ];
 
@@ -115,6 +126,9 @@ impl Stage {
             Stage::WireCorrupt => "wire_corrupt",
             Stage::Shed => "shed",
             Stage::Busy => "busy",
+            Stage::AppTransport => "app_transport",
+            Stage::AppSched => "app_sched",
+            Stage::AppService => "app_service",
             Stage::Complete => "complete",
         }
     }
@@ -123,11 +137,7 @@ impl Stage {
     pub fn is_fault(self) -> bool {
         matches!(
             self,
-            Stage::Retransmit
-                | Stage::WireDrop
-                | Stage::WireCorrupt
-                | Stage::Shed
-                | Stage::Busy
+            Stage::Retransmit | Stage::WireDrop | Stage::WireCorrupt | Stage::Shed | Stage::Busy
         )
     }
 }
@@ -424,9 +434,10 @@ impl TraceRecorder {
         Stage::ALL
             .iter()
             .filter_map(|s| {
-                inner.stage_stats.get(s).map(|h| {
-                    (*s, h.count(), Nanos(h.median()), Nanos(h.p99()))
-                })
+                inner
+                    .stage_stats
+                    .get(s)
+                    .map(|h| (*s, h.count(), Nanos(h.median()), Nanos(h.p99())))
             })
             .collect()
     }

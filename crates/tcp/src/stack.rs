@@ -84,8 +84,10 @@ struct Connection {
     sendq: VecDeque<(u64, u64)>,
     /// Message being segmented: (msg id, length, next offset).
     current: Option<(u64, u64, u64)>,
-    /// Unacked segments: (msg, offset) -> (len, sent at).
-    inflight: BTreeMap<(u64, u64), (u32, Nanos)>,
+    /// Unacked segments: (msg, offset) -> (len, sent at, msg len).
+    /// The message length rides along so an RTO resend can rebuild the
+    /// full header even when the receiver never saw the original.
+    inflight: BTreeMap<(u64, u64), (u32, Nanos, u64)>,
     inflight_bytes: u64,
     /// A tx pacing event is already scheduled.
     tx_scheduled: bool,
@@ -93,6 +95,10 @@ struct Connection {
     rto_scheduled: bool,
     /// Reassembly state per message.
     recv: HashMap<u64, MsgRecv>,
+    /// Messages already delivered to the app. A retransmit that lands
+    /// after completion (its ACK was lost) must be re-ACKed but not
+    /// re-delivered. Unbounded, which is fine for simulation.
+    delivered: std::collections::HashSet<u64>,
 }
 
 impl Connection {
@@ -106,6 +112,7 @@ impl Connection {
             tx_scheduled: false,
             rto_scheduled: false,
             recv: HashMap::new(),
+            delivered: std::collections::HashSet::new(),
         }
     }
 
@@ -169,12 +176,7 @@ pub struct TcpHost {
 impl TcpHost {
     /// Creates the stack for `host` and hooks it into the NIC's
     /// interrupt path.
-    pub fn new(
-        host: HostId,
-        fabric: FabricHandle,
-        machine: MachineHandle,
-        cfg: TcpConfig,
-    ) -> Self {
+    pub fn new(host: HostId, fabric: FabricHandle, machine: MachineHandle, cfg: TcpConfig) -> Self {
         let this = TcpHost {
             inner: Rc::new(RefCell::new(Inner {
                 host,
@@ -218,6 +220,19 @@ impl TcpHost {
         key
     }
 
+    /// Pre-registers the passive side of a connection opened by `peer`
+    /// with [`TcpHost::connect`], so this host can send on `conn`
+    /// before the first packet arrives (the sockets facade dials both
+    /// directions up front). Idempotent: a connection the first packet
+    /// already materialized is left untouched.
+    pub fn accept(&self, conn: ConnKey, peer: HostId) {
+        let mut inner = self.inner.borrow_mut();
+        inner
+            .conns
+            .entry(conn)
+            .or_insert_with(|| Connection::new(peer));
+    }
+
     /// Sends a `len`-byte message on `conn`; charged syscall + copy on
     /// submission, segments paced by kernel-path cost.
     ///
@@ -255,7 +270,9 @@ impl TcpHost {
     fn schedule_tx(&self, sim: &mut Sim, conn: ConnKey, delay: Nanos) {
         {
             let mut inner = self.inner.borrow_mut();
-            let Some(c) = inner.conns.get_mut(&conn) else { return };
+            let Some(c) = inner.conns.get_mut(&conn) else {
+                return;
+            };
             if c.tx_scheduled {
                 return;
             }
@@ -274,7 +291,9 @@ impl TcpHost {
             let mtu = inner.cfg.mtu;
             let window = inner.cfg.window_bytes;
             let host = inner.host;
-            let Some(c) = inner.conns.get_mut(&conn) else { return };
+            let Some(c) = inner.conns.get_mut(&conn) else {
+                return;
+            };
             c.tx_scheduled = false;
             // Refill `current` from the queue.
             if c.current.is_none() {
@@ -289,7 +308,7 @@ impl TcpHost {
             }
             let seg_len = (msg_len - offset).min(mtu as u64) as u32;
             let peer = c.peer;
-            c.inflight.insert((msg_id, offset), (seg_len, now));
+            c.inflight.insert((msg_id, offset), (seg_len, now, msg_len));
             c.inflight_bytes += seg_len as u64;
             let next_off = offset + seg_len as u64;
             if next_off >= msg_len {
@@ -339,7 +358,9 @@ impl TcpHost {
         let rto = {
             let mut inner = self.inner.borrow_mut();
             let rto = inner.cfg.rto;
-            let Some(c) = inner.conns.get_mut(&conn) else { return };
+            let Some(c) = inner.conns.get_mut(&conn) else {
+                return;
+            };
             if c.rto_scheduled || c.inflight.is_empty() {
                 return;
             }
@@ -353,23 +374,25 @@ impl TcpHost {
     /// Retransmits segments older than the RTO.
     fn rto_fire(&self, sim: &mut Sim, conn: ConnKey) {
         let now = sim.now();
-        let resend: Vec<(u64, u64, u32)> = {
+        let resend: Vec<(u64, u64, u32, u64)> = {
             let mut inner = self.inner.borrow_mut();
             let rto = inner.cfg.rto;
             let host = inner.host;
             let _ = host;
-            let Some(c) = inner.conns.get_mut(&conn) else { return };
+            let Some(c) = inner.conns.get_mut(&conn) else {
+                return;
+            };
             c.rto_scheduled = false;
             c.inflight
                 .iter_mut()
-                .filter(|(_, (_, sent))| now.saturating_sub(*sent) >= rto)
-                .map(|((msg, off), (len, sent))| {
+                .filter(|(_, (_, sent, _))| now.saturating_sub(*sent) >= rto)
+                .map(|((msg, off), (len, sent, msg_len))| {
                     *sent = now;
-                    (*msg, *off, *len)
+                    (*msg, *off, *len, *msg_len)
                 })
                 .collect()
         };
-        for (msg_id, offset, seg_len) in resend {
+        for (msg_id, offset, seg_len, msg_len) in resend {
             let (pkt, queue) = {
                 let mut inner = self.inner.borrow_mut();
                 inner.stats.retransmits += 1;
@@ -377,16 +400,19 @@ impl TcpHost {
                 let cost = inner.side_cost(seg_len);
                 inner.cpu.add(cost);
                 let host = inner.host;
-                let Some(c) = inner.conns.get(&conn) else { return };
+                let Some(c) = inner.conns.get(&conn) else {
+                    return;
+                };
                 let mut w = Writer::with_capacity(64);
-                // msg_len is only needed by first-delivery bookkeeping;
-                // the receiver already has it from the original message
-                // header, and re-sent headers repeat it.
+                // Resends must carry the real message length: if every
+                // original segment of the message was lost, the resend
+                // is what creates the receiver's reassembly entry, and a
+                // zero length there would strand the message forever.
                 w.u8(KIND_DATA)
                     .u64(conn)
                     .u64(msg_id)
                     .u64(offset)
-                    .u64(0) // msg_len unknown at this layer on resend
+                    .u64(msg_len)
                     .u32(seg_len);
                 let mut pkt = Packet::new(host, c.peer, Bytes::from(w.finish()));
                 pkt.wire_size = seg_len + Packet::HEADER_OVERHEAD;
@@ -414,10 +440,7 @@ impl TcpHost {
         if pkts.is_empty() {
             return;
         }
-        self.inner
-            .borrow_mut()
-            .cpu
-            .add(Nanos(costs::INTERRUPT_NS));
+        self.inner.borrow_mut().cpu.add(Nanos(costs::INTERRUPT_NS));
         for pkt in pkts {
             self.process_packet(sim, pkt);
         }
@@ -448,26 +471,33 @@ impl TcpHost {
                 .conns
                 .entry(conn)
                 .or_insert_with(|| Connection::new(src));
-            let entry = c.recv.entry(msg_id).or_insert(MsgRecv {
-                total: msg_len,
-                received: 0,
-                offsets: Default::default(),
-            });
-            if entry.total == 0 {
-                entry.total = msg_len;
+            if c.delivered.contains(&msg_id) {
+                // Stale retransmit of a completed message: the ACK
+                // below silences the sender; nothing to reassemble.
+                None
+            } else {
+                let entry = c.recv.entry(msg_id).or_insert(MsgRecv {
+                    total: msg_len,
+                    received: 0,
+                    offsets: Default::default(),
+                });
+                if entry.total == 0 {
+                    entry.total = msg_len;
+                }
+                let fresh = entry.offsets.insert(offset);
+                if fresh {
+                    entry.received += seg_len as u64;
+                }
+                let done = entry.total > 0 && entry.received >= entry.total;
+                let total = entry.total;
+                if done {
+                    c.recv.remove(&msg_id);
+                    c.delivered.insert(msg_id);
+                    inner.stats.msgs_delivered += 1;
+                    inner.stats.bytes_delivered += total;
+                }
+                done.then_some(total)
             }
-            let fresh = entry.offsets.insert(offset);
-            if fresh {
-                entry.received += seg_len as u64;
-            }
-            let done = entry.total > 0 && entry.received >= entry.total;
-            let total = entry.total;
-            if done {
-                c.recv.remove(&msg_id);
-                inner.stats.msgs_delivered += 1;
-                inner.stats.bytes_delivered += total;
-            }
-            done.then_some(total)
         };
 
         // Ack immediately (tiny packet, negligible CPU charged with the
@@ -475,7 +505,11 @@ impl TcpHost {
         let ack = {
             let inner = self.inner.borrow();
             let mut w = Writer::with_capacity(32);
-            w.u8(KIND_ACK).u64(conn).u64(msg_id).u64(offset).u32(seg_len);
+            w.u8(KIND_ACK)
+                .u64(conn)
+                .u64(msg_id)
+                .u64(offset)
+                .u32(seg_len);
             let mut pkt = Packet::new(inner.host, src, Bytes::from(w.finish()));
             pkt = pkt.with_rss_hash(conn);
             pkt
@@ -510,14 +544,15 @@ impl TcpHost {
     }
 
     fn process_ack(&self, sim: &mut Sim, r: &mut Reader<'_>) {
-        let (Ok(conn), Ok(msg_id), Ok(offset), Ok(seg_len)) =
-            (r.u64(), r.u64(), r.u64(), r.u32())
+        let (Ok(conn), Ok(msg_id), Ok(offset), Ok(seg_len)) = (r.u64(), r.u64(), r.u64(), r.u32())
         else {
             return;
         };
         let resume = {
             let mut inner = self.inner.borrow_mut();
-            let Some(c) = inner.conns.get_mut(&conn) else { return };
+            let Some(c) = inner.conns.get_mut(&conn) else {
+                return;
+            };
             if c.inflight.remove(&(msg_id, offset)).is_some() {
                 c.inflight_bytes = c.inflight_bytes.saturating_sub(seg_len as u64);
             }
@@ -609,8 +644,15 @@ mod tests {
         let conn = p.a.connect(1);
         p.a.send(&mut p.sim, conn, 1, 500_000);
         p.sim.run_until(Nanos::from_secs(2));
-        assert_eq!(delivered.get(), 500_000, "message must complete despite loss");
-        assert!(p.a.stats().retransmits > 0, "5% loss must cause retransmits");
+        assert_eq!(
+            delivered.get(),
+            500_000,
+            "message must complete despite loss"
+        );
+        assert!(
+            p.a.stats().retransmits > 0,
+            "5% loss must cause retransmits"
+        );
     }
 
     #[test]
@@ -665,6 +707,43 @@ mod tests {
         }
         p.sim.run_until(Nanos::from_millis(50));
         assert_eq!(p.b.stats().msgs_delivered, 50);
+    }
+
+    #[test]
+    fn single_segment_messages_survive_loss() {
+        // Regression: a resend used to carry msg_len = 0, so a
+        // single-segment message whose only original packet was lost
+        // could never complete reassembly at the receiver.
+        let cfg = TcpConfig {
+            rto: Nanos::from_millis(1),
+            ..Default::default()
+        };
+        let mut p = pair(cfg, 0.2);
+        let delivered = Rc::new(Cell::new(0u64));
+        let d = delivered.clone();
+        p.b.on_message(Rc::new(move |_s, _c, _m, _len| d.set(d.get() + 1)));
+        let conn = p.a.connect(1);
+        for m in 0..50 {
+            p.a.send(&mut p.sim, conn, m, 100);
+        }
+        p.sim.run_until(Nanos::from_secs(2));
+        assert_eq!(delivered.get(), 50, "every 1-segment message must deliver");
+        assert!(p.a.stats().retransmits > 0, "20% loss must retransmit");
+    }
+
+    #[test]
+    fn accepted_conn_sends_before_receiving() {
+        let mut p = pair(TcpConfig::default(), 0.0);
+        let got = Rc::new(Cell::new(0u64));
+        let g = got.clone();
+        p.a.on_message(Rc::new(move |_s, _c, _m, len| g.set(len)));
+        // Host 0 dials host 1; host 1 pre-registers the reverse path
+        // and speaks first.
+        let conn = p.a.connect(1);
+        p.b.accept(conn, 0);
+        p.b.send(&mut p.sim, conn, 9, 4_000);
+        p.sim.run();
+        assert_eq!(got.get(), 4_000);
     }
 
     #[test]

@@ -8,14 +8,16 @@
 //! pointer server-side in one round trip — "compared to a basic remote
 //! read, an indirect read effectively doubles the achievable operation
 //! rate and halves the latency" (§3.2). The batched form amortizes
-//! further.
+//! further. The lookup strategies live in `snap_apps::kv::onesided`;
+//! this example wires them to a testbed.
 //!
 //! ```sh
 //! cargo run --example kv_store
 //! ```
 
+use snap_repro::apps::kv::onesided;
 use snap_repro::isolation::QuotaPolicy;
-use snap_repro::pony::client::{OpStatus, PonyCommand, PonyCompletion};
+use snap_repro::pony::client::OpStatus;
 use snap_repro::shm::region::AccessMode;
 use snap_repro::sim::Nanos;
 use snap_repro::testbed::{Testbed, TestbedConfig};
@@ -32,135 +34,40 @@ fn main() {
     let _server = tb.pony_app(1, "kvserver", |_| {});
     let conn = tb.connect(0, "analytics", 1, "kvserver");
 
-    // --- Server-side data layout ----------------------------------
-    // Value heap: BUCKETS values of VALUE_LEN bytes, value i filled
-    // with byte (i % 251).
-    let mut heap = Vec::with_capacity((BUCKETS * VALUE_LEN as u64) as usize);
-    for i in 0..BUCKETS {
-        heap.extend(std::iter::repeat_n((i % 251) as u8, VALUE_LEN as usize));
-    }
-    let heap_region = tb.hosts[1]
-        .regions
-        .register_with("kvserver", heap, AccessMode::ReadOnly);
-    // Indirection table: bucket i -> (heap_region, i * VALUE_LEN).
-    let mut table = Vec::with_capacity((BUCKETS * 8) as usize);
-    for i in 0..BUCKETS {
-        let packed = (heap_region.0 << 32) | (i * VALUE_LEN as u64);
-        table.extend_from_slice(&packed.to_le_bytes());
-    }
-    let table_region = tb.hosts[1]
-        .regions
-        .register_with("kvserver", table, AccessMode::ReadOnly);
+    // Server-side data layout: value heap + indirection table.
+    let layout = onesided::install(&tb.hosts[1].regions, "kvserver", BUCKETS, VALUE_LEN);
 
     // --- Strategy 1: pointer chase with two plain reads -----------
-    let t0 = tb.sim.now();
     let bucket = 7u64;
-    let ptr_op = client.submit(
-        &mut tb.sim,
-        PonyCommand::Read {
-            conn,
-            region: table_region.0,
-            offset: bucket * 8,
-            len: 8,
-        },
-    );
-    tb.run_ms(1);
-    let ptr = client
-        .take_completions()
-        .into_iter()
-        .find_map(|c| match c {
-            PonyCompletion::OpDone { op, data, .. } if op == ptr_op => {
-                Some(u64::from_le_bytes(data.try_into().expect("8 bytes")))
-            }
-            _ => None,
-        })
-        .expect("pointer read completed");
-    let value_op = client.submit(
-        &mut tb.sim,
-        PonyCommand::Read {
-            conn,
-            region: ptr >> 32,
-            offset: ptr & 0xFFFF_FFFF,
-            len: VALUE_LEN,
-        },
-    );
-    tb.run_ms(1);
-    let two_rt = tb.sim.now() - t0;
-    let v = client
-        .take_completions()
-        .into_iter()
-        .find_map(|c| match c {
-            PonyCompletion::OpDone { op, data, .. } if op == value_op => Some(data),
-            _ => None,
-        })
-        .expect("value read completed");
-    assert_eq!(v[0], (bucket % 251) as u8);
+    let v = onesided::lookup_ptr_chase(tb.as_pump(), &mut client, conn, &layout, bucket)
+        .expect("pointer chase completed");
+    assert_eq!(v[0], onesided::expected_byte(bucket));
     println!("pointer-chase lookup (2 plain reads): value ok");
 
     // --- Strategy 2: one indirect read -----------------------------
-    let t1 = tb.sim.now();
-    let op = client.submit(
-        &mut tb.sim,
-        PonyCommand::IndirectRead {
-            conn,
-            table: table_region.0,
-            indices: vec![bucket as u32],
-            len: VALUE_LEN,
-        },
-    );
-    tb.run_ms(1);
-    let one_rt = tb.sim.now() - t1;
-    let v = client
-        .take_completions()
-        .into_iter()
-        .find_map(|c| match c {
-            PonyCompletion::OpDone { op: o, data, .. } if o == op => Some(data),
-            _ => None,
-        })
+    let v = onesided::lookup_indirect(tb.as_pump(), &mut client, conn, &layout, bucket)
         .expect("indirect read completed");
-    assert_eq!(v[0], (bucket % 251) as u8);
+    assert_eq!(v[0], onesided::expected_byte(bucket));
     println!("indirect read (1 round trip): value ok");
-    let _ = (two_rt, one_rt); // round-trip counts, not wall times, matter here
 
     // --- Strategy 3: batched indirect reads, sustained -------------
     // "Many of the operations use a custom batched indirect read
     // operation ... a batch of eight indirections" (§5.4).
-    let start = tb.sim.now();
-    let mut looked_up = 0u64;
-    let mut outstanding = 0u32;
-    let mut next_bucket = 0u64;
-    let deadline = start + Nanos::from_millis(50);
-    while tb.sim.now() < deadline {
-        while outstanding < 16 {
-            let indices: Vec<u32> =
-                (0..8).map(|k| ((next_bucket + k) % BUCKETS) as u32).collect();
-            next_bucket += 8;
-            client.submit(
-                &mut tb.sim,
-                PonyCommand::IndirectRead {
-                    conn,
-                    table: table_region.0,
-                    indices,
-                    len: VALUE_LEN,
-                },
-            );
-            outstanding += 1;
-        }
-        tb.run_us(50);
-        for c in client.take_completions() {
-            if let PonyCompletion::OpDone { data, .. } = c {
-                assert_eq!(data.len(), 8 * VALUE_LEN as usize);
-                looked_up += 8;
-                outstanding -= 1;
-            }
-        }
-    }
-    let wall = (tb.sim.now() - start).as_secs_f64();
+    let report = onesided::batched_lookups(
+        tb.as_pump(),
+        &mut client,
+        conn,
+        &layout,
+        Nanos::from_millis(50),
+        16,
+        8,
+    );
+    let wall = report.elapsed.as_secs_f64();
     println!(
         "batched indirect reads: {} lookups in {:.1} ms -> {:.2}M lookups/sec",
-        looked_up,
+        report.lookups,
         wall * 1e3,
-        looked_up as f64 / wall / 1e6
+        report.lookups as f64 / wall / 1e6
     );
 
     // --- Strategy 4: runtime quotas from the operator's seat --------
@@ -174,36 +81,18 @@ fn main() {
         .regions
         .register_with("analytics", vec![0u8; 64 << 10], AccessMode::ReadWrite);
     let quota = tb.quota_module(0);
-    let lookup_status = |tb: &mut Testbed, client: &mut snap_repro::pony::PonyClient| {
-        let op = client.submit(
-            &mut tb.sim,
-            PonyCommand::IndirectRead {
-                conn,
-                table: table_region.0,
-                indices: vec![3],
-                len: VALUE_LEN,
-            },
-        );
-        tb.run_ms(1);
-        client
-            .take_completions()
-            .into_iter()
-            .find_map(|c| match c {
-                PonyCompletion::OpDone { op: o, status, .. } if o == op => Some(status),
-                _ => None,
-            })
-            .expect("lookup completed")
-    };
     quota
         .admission()
         .set_policy("analytics", QuotaPolicy::with_mem(32_000, 48_000));
-    let throttled = lookup_status(&mut tb, &mut client);
+    let (throttled, _) = onesided::lookup_status(tb.as_pump(), &mut client, conn, &layout, 3)
+        .expect("lookup completed");
     println!("lookup under a 48 KB hard budget (64 KiB pinned): {throttled:?}");
     assert_eq!(throttled, OpStatus::Busy, "hard pressure pushes back");
     quota
         .admission()
         .set_policy("analytics", QuotaPolicy::with_mem(100_000, 200_000));
-    let healed = lookup_status(&mut tb, &mut client);
+    let (healed, _) = onesided::lookup_status(tb.as_pump(), &mut client, conn, &layout, 3)
+        .expect("lookup completed");
     println!("lookup after the operator raised the budget: {healed:?}");
     assert_eq!(healed, OpStatus::Ok, "budget raise applies immediately");
     println!("\nquota table:\n{}", quota.table());

@@ -2,16 +2,16 @@
 //! several hosts exchange 1 MB RPCs at a Poisson offered load while a
 //! latency prober measures small-RPC tails. Tracing samples 1% of ops
 //! and the run ends by printing the three slowest traced RPCs with
-//! their per-stage critical-path breakdowns.
+//! their per-stage critical-path breakdowns. The drive loop lives in
+//! `snap_apps::rpc`; this example wires the mesh and prints the report.
 //!
 //! ```sh
 //! cargo run --release --example rpc_benchmark
 //! ```
 
+use snap_repro::apps::rpc::{post_recv_buffers, run_all_to_all, AllToAllSpec};
 use snap_repro::core::group::SchedulingMode;
-use snap_repro::pony::client::{PonyCommand, PonyCompletion};
-use snap_repro::sim::dist;
-use snap_repro::sim::{Histogram, Nanos, Rng};
+use snap_repro::sim::Nanos;
 use snap_repro::testbed::{Testbed, TestbedConfig};
 
 const HOSTS: usize = 4;
@@ -44,68 +44,31 @@ fn main() {
     }
     // Generous receive buffers for the 1 MB RPCs: conns[a][b] carries
     // a's sends toward b, so *b* (the receiver) posts the buffers.
-    for (a, row) in conns.iter().enumerate() {
-        for (b, conn) in row.iter().enumerate() {
-            if a != b {
-                clients[b].submit(
-                    &mut tb.sim,
-                    PonyCommand::PostRecvBuffers {
-                        conn: *conn,
-                        count: 4096,
-                    },
-                );
-            }
-        }
-    }
+    post_recv_buffers(&mut tb.sim, &mut clients, &conns, 4096);
 
-    let mut rng = Rng::new(7);
-    let mut latency = Histogram::new();
-    let per_job_rate = 120.0; // RPCs/sec per job
-    let mut next_fire = [Nanos::ZERO; HOSTS];
-    let mut delivered_bytes = 0u64;
+    let report = run_all_to_all(
+        tb.as_pump(),
+        &mut clients,
+        &conns,
+        AllToAllSpec {
+            rpc_bytes: RPC_BYTES,
+            per_job_rate: 120.0, // RPCs/sec per job
+            duration: Nanos::from_millis(DURATION_MS),
+            seed: 7,
+        },
+    );
 
-    let start = tb.sim.now();
-    let deadline = start + Nanos::from_millis(DURATION_MS);
-    while tb.sim.now() < deadline {
-        let now = tb.sim.now();
-        for a in 0..HOSTS {
-            if now >= next_fire[a] {
-                next_fire[a] = now + dist::poisson_gap(&mut rng, per_job_rate);
-                let mut b = rng.below(HOSTS as u64) as usize;
-                if b == a {
-                    b = (b + 1) % HOSTS;
-                }
-                clients[a].submit(
-                    &mut tb.sim,
-                    PonyCommand::Send {
-                        conn: conns[a][b],
-                        stream: 0,
-                        len: RPC_BYTES,
-                    },
-                );
-            }
-        }
-        tb.run_us(200);
-        for (a, client) in clients.iter_mut().enumerate() {
-            for c in client.take_completions() {
-                match c {
-                    PonyCompletion::OpDone { issued_at, .. } => {
-                        latency.record_nanos(tb.sim.now().saturating_sub(issued_at));
-                    }
-                    PonyCompletion::RecvMsg { len, .. } => {
-                        delivered_bytes += len;
-                        let _ = a;
-                    }
-                }
-            }
-        }
-    }
-
-    let wall = (tb.sim.now() - start).as_secs_f64();
-    let gbps = delivered_bytes as f64 * 8.0 / wall / 1e9;
+    let wall = report.elapsed.as_secs_f64();
     println!("== all-to-all RPC benchmark ({HOSTS} hosts, 1MB RPCs, compacting engines) ==");
-    println!("offered: {per_job_rate} RPC/s/job   delivered: {gbps:.2} Gbps aggregate");
-    println!("send-completion latency: {}", latency.latency_summary());
+    println!(
+        "offered: {} RPC/s/job   delivered: {:.2} Gbps aggregate",
+        120.0,
+        report.gbps()
+    );
+    println!(
+        "send-completion latency: {}",
+        report.latency.latency_summary()
+    );
     for h in 0..HOSTS {
         let cpu = tb.host_cpu(h);
         println!(

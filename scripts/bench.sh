@@ -7,6 +7,7 @@
 #   bench.sh pr4 [out]  — admission overhead only (default BENCH_pr4.json)
 #   bench.sh pr5 [out]  — trace overhead only (default BENCH_pr5.json)
 #   bench.sh pr6 [out]  — gray-failure health only (default BENCH_pr6.json)
+#   bench.sh pr8 [out]  — app DAG over TCP vs Pony (default BENCH_pr8.json)
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
@@ -23,6 +24,11 @@
 #      modeled op outcomes must be identical with zero quarantines —
 #      plus a lossy-link ablation where hedged retries must cut the
 #      streaming p99 while delivery stays exactly-once.
+# pr8: the same declarative microservice DAG (diamond fan-out/fan-in,
+#      heavy-tailed service times, open-loop Poisson load) swept over
+#      the kernel-TCP and Pony sockets backends; reports per-backend
+#      p50/p99 plus the queue/service/transport critical-path split,
+#      cross-checked against the trace recorder's app_* stages.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -58,6 +64,11 @@ run_pr6() {
     cargo run --release -q -p snap-bench --bin bench_health "${1:-BENCH_pr6.json}"
 }
 
+run_pr8() {
+    cargo build --release -p snap-bench --bin bench_apps
+    cargo run --release -q -p snap-bench --bin bench_apps "${1:-BENCH_pr8.json}"
+}
+
 case "$mode" in
     all)
         run_pr2
@@ -65,6 +76,7 @@ case "$mode" in
         run_pr4
         run_pr5
         run_pr6
+        run_pr8
         ;;
     pr2)
         run_pr2 "${2:-}"
@@ -80,6 +92,9 @@ case "$mode" in
         ;;
     pr6)
         run_pr6 "${2:-}"
+        ;;
+    pr8)
+        run_pr8 "${2:-}"
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

@@ -12,6 +12,7 @@
 //! See `DESIGN.md` for the system inventory and the experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use snap_apps as apps;
 pub use snap_core as core;
 pub use snap_isolation as isolation;
 pub use snap_nic as nic;
@@ -24,5 +25,6 @@ pub use snap_telemetry as telemetry;
 
 pub use snap_health as health;
 
+pub mod fleet;
 pub mod health_rig;
 pub mod testbed;

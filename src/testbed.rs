@@ -7,18 +7,24 @@
 //! drive the simulation.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
+use snap_apps::dag::{DagEdge, DagError, DagRuntime, DagSpec};
+use snap_apps::socket::{wire, SnapSocket, SocketError, SocketHost};
+use snap_apps::transport::{Backend, PonyTransport, TcpRouter, TcpTransport, Transport};
+use snap_apps::SimPump;
+
+use snap_core::engine::EngineId;
 use snap_core::group::{GroupConfig, GroupHandle, MachineHandle, SchedulingMode};
+use snap_core::supervisor::{Supervisor, SupervisorConfig};
+use snap_isolation::{AdmissionController, QuotaModule};
 use snap_nic::fabric::{FabricConfig, FabricHandle};
 use snap_nic::nic::NicConfig;
 use snap_nic::packet::HostId;
 use snap_pony::client::PonyClient;
 use snap_pony::engine::PonyEngineConfig;
 use snap_pony::module::{new_net, PonyModule, PonyNetHandle};
-use snap_core::engine::EngineId;
-use snap_core::supervisor::{Supervisor, SupervisorConfig};
-use snap_isolation::{AdmissionController, QuotaModule};
 use snap_sched::machine::Machine;
 use snap_shm::account::{CpuAccountant, MemoryAccountant};
 use snap_shm::region::RegionRegistry;
@@ -27,8 +33,8 @@ use snap_sim::trace::TraceRecorder;
 use snap_sim::{Nanos, Sim};
 
 use crate::health_rig::{HealthRig, HealthRigConfig, PROBER_APP};
-use snap_telemetry::{StatsConfig, StatsModule, TraceModule};
 use snap_tcp::stack::{TcpConfig, TcpHost};
+use snap_telemetry::{StatsConfig, StatsModule, TraceModule};
 
 /// Testbed construction parameters.
 #[derive(Clone)]
@@ -106,6 +112,13 @@ pub struct Testbed {
     pub net: PonyNetHandle,
     /// The rack-wide trace recorder, when tracing is enabled.
     pub recorder: Option<TraceRecorder>,
+    /// Lazily created kernel-TCP routers, one per host that runs a
+    /// TCP-backed facade app (a host runs one kernel stack).
+    tcp_routers: HashMap<usize, TcpRouter>,
+    /// Facade socket hosts by (host, app name). Ordered so the pump
+    /// polls apps in a deterministic sequence (same seed ⇒ identical
+    /// event order ⇒ identical latencies).
+    apps: std::collections::BTreeMap<(usize, String), SocketHost>,
     cfg: TestbedConfig,
 }
 
@@ -150,7 +163,13 @@ impl Testbed {
             );
             group.start(&mut sim);
             let regions = RegionRegistry::new(memory.clone());
-            let mut module = PonyModule::new(id, fabric.clone(), regions.clone(), group.clone(), net.clone());
+            let mut module = PonyModule::new(
+                id,
+                fabric.clone(),
+                regions.clone(),
+                group.clone(),
+                net.clone(),
+            );
             let admission = cfg.admission.then(|| {
                 let adm = AdmissionController::new(memory.clone(), cpu.clone());
                 module.set_admission(adm.clone());
@@ -176,6 +195,8 @@ impl Testbed {
             hosts,
             net,
             recorder,
+            tcp_routers: HashMap::new(),
+            apps: std::collections::BTreeMap::new(),
             cfg,
         }
     }
@@ -246,6 +267,115 @@ impl Testbed {
         )
     }
 
+    /// The host's kernel-TCP facade router, created on first use. All
+    /// TCP-backed facade apps on a host share one stack, demuxed by
+    /// connection.
+    fn tcp_router(&mut self, host: usize) -> TcpRouter {
+        if let Some(r) = self.tcp_routers.get(&host) {
+            return r.clone();
+        }
+        let router = TcpRouter::new(self.tcp_host(host, TcpConfig::default()));
+        self.tcp_routers.insert(host, router.clone());
+        router
+    }
+
+    /// A facade socket host for `app` on `host` over `backend` — the
+    /// byte-stream sockets API. `Backend::Pony` creates an engine +
+    /// session under the hood; `Backend::Tcp` lazily creates the
+    /// host's kernel stack and shares it across the host's TCP apps.
+    /// Idempotent per (host, app): repeated calls return the same
+    /// facade host.
+    pub fn app(&mut self, host: usize, app: &str, backend: Backend) -> SocketHost {
+        if let Some(existing) = self.apps.get(&(host, app.to_string())) {
+            return existing.clone();
+        }
+        let transport: Box<dyn Transport> = match backend {
+            Backend::Pony => Box::new(PonyTransport::new(self.pony_app(host, app, |_| {}))),
+            Backend::Tcp => Box::new(TcpTransport::new(self.tcp_router(host))),
+        };
+        let sh = SocketHost::new(transport);
+        self.apps.insert((host, app.to_string()), sh.clone());
+        sh
+    }
+
+    /// Connects two facade apps (created with [`Testbed::app`]); both
+    /// ends must use the same backend. Returns the dialing (client)
+    /// socket; the remote app accepts the peer socket from its
+    /// [`SocketHost::listener`].
+    pub fn app_connect(
+        &mut self,
+        host_a: usize,
+        app_a: &str,
+        host_b: usize,
+        app_b: &str,
+    ) -> Result<SnapSocket, SocketError> {
+        let a = self
+            .apps
+            .get(&(host_a, app_a.to_string()))
+            .cloned()
+            .ok_or(SocketError::NotConnected)?;
+        let b = self
+            .apps
+            .get(&(host_b, app_b.to_string()))
+            .cloned()
+            .ok_or(SocketError::NotConnected)?;
+        if a.backend() != b.backend() {
+            return Err(SocketError::BackendMismatch);
+        }
+        let conn = match a.backend() {
+            // Pony connections are bidirectional and valid at both ends.
+            Backend::Pony => self.connect(host_a, app_a, host_b, app_b),
+            // TCP: dial from a, pre-register the passive side on b so
+            // it can send before the first packet arrives.
+            Backend::Tcp => {
+                let peer_a = self.hosts[host_a].id;
+                let peer_b = self.hosts[host_b].id;
+                let ra = self.tcp_router(host_a);
+                let rb = self.tcp_router(host_b);
+                let conn = ra.tcp().connect(peer_b);
+                rb.tcp().accept(conn, peer_a);
+                conn
+            }
+        };
+        wire(&a, &b, conn)
+    }
+
+    /// Builds and wires a [`DagRuntime`] over `backend`: one facade app
+    /// per service (named `{prefix}-s{i}`, pinned to the spec's host),
+    /// one facade connection per edge. The identical spec runs
+    /// unmodified over kernel TCP or Pony — only `backend` changes.
+    pub fn dag(
+        &mut self,
+        prefix: &str,
+        spec: &DagSpec,
+        backend: Backend,
+    ) -> Result<DagRuntime, DagError> {
+        spec.validate()?;
+        let names: Vec<String> = (0..spec.services.len())
+            .map(|i| format!("{prefix}-s{i}"))
+            .collect();
+        let svc_hosts: Vec<usize> = spec.services.iter().map(|s| s.host).collect();
+        for (i, name) in names.iter().enumerate() {
+            self.app(svc_hosts[i], name, backend);
+        }
+        let mut edges = Vec::new();
+        for (p, c) in spec.edge_list() {
+            let parent_sock = self.app_connect(svc_hosts[p], &names[p], svc_hosts[c], &names[c])?;
+            let child_sock = self
+                .apps
+                .get(&(svc_hosts[c], names[c].clone()))
+                .and_then(|sh| sh.listener().accept())
+                .ok_or(DagError::Socket(SocketError::NotConnected))?;
+            edges.push(DagEdge {
+                parent: p,
+                child: c,
+                parent_sock,
+                child_sock,
+            });
+        }
+        DagRuntime::new(spec.clone(), edges, self.cfg.seed, self.recorder.clone())
+    }
+
     /// Runs the simulation for `ms` more milliseconds of virtual time.
     pub fn run_ms(&mut self, ms: u64) {
         let deadline = self.sim.now() + Nanos::from_millis(ms);
@@ -256,6 +386,13 @@ impl Testbed {
     pub fn run_us(&mut self, us: u64) {
         let deadline = self.sim.now() + Nanos::from_micros(us);
         self.sim.run_until(deadline);
+    }
+
+    /// Drives blocking-style facade calls (`recv_deadline`, workload
+    /// `run`s): every timeout they observe is virtual time on this
+    /// testbed's simulator, never wall time.
+    pub fn as_pump(&mut self) -> &mut dyn SimPump {
+        self
     }
 
     /// Stops group rebalancers (needed before a draining `sim.run()` on
@@ -318,7 +455,10 @@ impl Testbed {
                     }
                 }
             }
-            FaultEvent::ReleasePressure { host, ref container } => {
+            FaultEvent::ReleasePressure {
+                host,
+                ref container,
+            } => {
                 if let Some(Some(adm)) = admissions.get(host as usize) {
                     if let Some(name) = resolve_container(adm, container) {
                         adm.release_pressure(&name);
@@ -334,7 +474,11 @@ impl Testbed {
             FaultEvent::PauseStorm { host, duration } => {
                 fabric.pause_host(host, sim.now() + duration);
             }
-            FaultEvent::EngineSlowdown { host, engine, factor } => {
+            FaultEvent::EngineSlowdown {
+                host,
+                engine,
+                factor,
+            } => {
                 if let Some(g) = groups.get(host as usize) {
                     g.slow_engine(EngineId(engine), factor);
                 }
@@ -437,12 +581,7 @@ impl Testbed {
     /// Puts an app's engine on `host` under supervision: periodic
     /// checkpoints plus crash/wedge detection, restarting the engine
     /// from its last checkpoint via the Pony restart factory.
-    pub fn supervise_app(
-        &mut self,
-        host: usize,
-        app: &str,
-        cfg: SupervisorConfig,
-    ) -> Supervisor {
+    pub fn supervise_app(&mut self, host: usize, app: &str, cfg: SupervisorConfig) -> Supervisor {
         let engine_id = self.hosts[host]
             .module
             .engine_for(app)
@@ -495,6 +634,23 @@ impl Testbed {
             stats.watch_group(&format!("h{h}"), host.group.clone());
         }
         stats
+    }
+}
+
+impl SimPump for Testbed {
+    fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    fn pump_us(&mut self, us: u64) {
+        self.run_us(us);
+        // Every facade app's event loop runs each slice: retries fire
+        // and acks drain even for apps no one is actively receiving
+        // on. Deterministic (BTreeMap) order keeps runs reproducible.
+        let apps: Vec<SocketHost> = self.apps.values().cloned().collect();
+        for app in apps {
+            app.poll(&mut self.sim);
+        }
     }
 }
 
