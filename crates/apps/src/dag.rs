@@ -23,7 +23,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use snap_sim::codec::{Reader, Writer};
-use snap_sim::dist;
+use snap_sim::dist::{self, DiurnalLoad};
 use snap_sim::stats::Histogram;
 use snap_sim::trace::{Stage, TraceContext, TraceRecorder};
 use snap_sim::{Nanos, Rng, Sim};
@@ -233,10 +233,35 @@ impl DagRequestResult {
 /// Open-loop Poisson load description.
 #[derive(Debug, Clone, Copy)]
 pub struct OpenLoop {
-    /// Arrival rate at the root, requests per second.
+    /// Arrival rate at the root, requests per second. When `shape` is
+    /// set this is ignored in favor of the curve's instantaneous rate.
     pub rate_per_sec: f64,
     /// Total requests to inject.
     pub requests: u64,
+    /// Optional time-varying rate: each arrival samples the curve at
+    /// its own timestamp, so load swings through the run (diurnal /
+    /// hotspot replay, Fig. 8).
+    pub shape: Option<DiurnalLoad>,
+}
+
+impl OpenLoop {
+    /// Constant-rate open-loop load.
+    pub fn constant(rate_per_sec: f64, requests: u64) -> Self {
+        OpenLoop {
+            rate_per_sec,
+            requests,
+            shape: None,
+        }
+    }
+
+    /// Load following a [`DiurnalLoad`] curve.
+    pub fn diurnal(shape: DiurnalLoad, requests: u64) -> Self {
+        OpenLoop {
+            rate_per_sec: shape.base_rate,
+            requests,
+            shape: Some(shape),
+        }
+    }
 }
 
 /// Aggregated run outcome.
@@ -297,6 +322,7 @@ pub struct DagRuntime {
     rng_service: Vec<Rng>,
     recorder: Option<TraceRecorder>,
     rate: f64,
+    shape: Option<DiurnalLoad>,
     target: u64,
     injected: u64,
     next_arrival: Option<Nanos>,
@@ -350,6 +376,7 @@ impl DagRuntime {
             rng_service: (0..n).map(|i| root.stream(1 + i as u64)).collect(),
             recorder,
             rate: 0.0,
+            shape: None,
             target: 0,
             injected: 0,
             next_arrival: None,
@@ -362,9 +389,22 @@ impl DagRuntime {
     /// Arms the open-loop arrival process starting at `now`.
     pub fn begin(&mut self, now: Nanos, load: OpenLoop) {
         self.rate = load.rate_per_sec;
+        self.shape = load.shape;
         self.target = load.requests;
         self.injected = 0;
-        self.next_arrival = Some(now + dist::poisson_gap(&mut self.rng_arrival, self.rate));
+        let gap = self.arrival_gap(now);
+        self.next_arrival = Some(now + gap);
+    }
+
+    /// Samples the next inter-arrival gap at time `at`: constant-rate
+    /// Poisson, or the shaped curve's instantaneous rate. A trough
+    /// clipped to ~zero floors at 1/s rather than stalling the loop.
+    fn arrival_gap(&mut self, at: Nanos) -> Nanos {
+        let rate = match self.shape {
+            Some(shape) => shape.rate_at(at, &mut self.rng_arrival).max(1.0),
+            None => self.rate,
+        };
+        dist::poisson_gap(&mut self.rng_arrival, rate)
     }
 
     /// True once every injected request has completed at the root.
@@ -398,7 +438,8 @@ impl DagRuntime {
             }
             self.spawn_root(at);
             self.injected += 1;
-            self.next_arrival = Some(at + dist::poisson_gap(&mut self.rng_arrival, self.rate));
+            let gap = self.arrival_gap(at);
+            self.next_arrival = Some(at + gap);
         }
         // Frames: requests land on child sockets, replies on parent
         // sockets. Collected first, processed after, so edge iteration

@@ -9,11 +9,12 @@
 //! (`PonyCommand` message ops). The same application code runs over
 //! either; the backend is picked per app at testbed construction.
 //!
-//! The **workload library** ([`dag`], [`kv`], [`stream`]) runs
-//! application shapes over the facade: declarative microservice RPC
-//! DAGs with fan-out/fan-in and per-stage service-time distributions,
-//! a KV cache with Zipf hot-key skew, and an open-loop record
-//! streamer — composable into mixed-fleet scenarios on shared hosts.
+//! The **workload library** ([`dag`], [`kv`], [`stream`], [`pool`])
+//! runs application shapes over the facade: declarative microservice
+//! RPC DAGs with fan-out/fan-in and per-stage service-time
+//! distributions, a KV cache with Zipf hot-key skew, an open-loop
+//! record streamer, and a closed-loop N:1 client pool (the incast
+//! driver) — composable into mixed-fleet scenarios on shared hosts.
 //!
 //! Everything is driven by the discrete-event simulator: deadlines,
 //! backoffs and service times are virtual [`snap_sim::Nanos`], never
@@ -24,6 +25,7 @@
 pub mod dag;
 pub mod framing;
 pub mod kv;
+pub mod pool;
 pub mod rpc;
 pub mod socket;
 pub mod stream;

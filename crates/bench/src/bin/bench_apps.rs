@@ -101,10 +101,7 @@ fn run_backend(backend: Backend) -> RunResult {
     let report = dag
         .run(
             tb.as_pump(),
-            OpenLoop {
-                rate_per_sec: RATE_PER_SEC,
-                requests: REQUESTS,
-            },
+            OpenLoop::constant(RATE_PER_SEC, REQUESTS),
             Nanos::from_millis(500),
         )
         .expect("all requests complete");

@@ -1,0 +1,598 @@
+//! Multi-rack topology bench (PR 9): paper-scale Clos scenarios.
+//!
+//! Four sections, all on compiled spine/leaf topologies:
+//!
+//! 1. **All-to-all at §5.2 scale** — 42 hosts (7 racks x 6), 3 spines:
+//!    every host sends to one peer in every other rack, twice with the
+//!    same seed; the two runs must be identical (deterministic ECMP +
+//!    seeded simulation), and the traffic must spread over all spines.
+//! 2. **N:1 incast sweep** — a closed-loop [`ClientPool`] fans 2/6/12
+//!    cross-rack clients into one server over both facade backends;
+//!    reports tail latency and the destination-leaf drop attribution
+//!    (the incast signature: drops concentrate at the victim's ToR).
+//! 3. **Oversubscription** — a 12:4 cross-rack pattern (every client
+//!    rack hammering rack 0's four servers) on a non-blocking (1:1) vs
+//!    4:1-oversubscribed fabric, kernel TCP vs Pony. N:1 to a single
+//!    server cannot expose oversubscription — at 4:1 the victim rack's
+//!    trunk aggregate exactly equals one host's NIC rate, so the
+//!    server link binds first either way. With four servers the rack
+//!    wants 4 hosts' worth of ingress but the 4:1 trunks carry one:
+//!    the trunk tier becomes the bottleneck and the tails move.
+//! 4. **Diurnal fleet** — the PR-8 mixed fleet (DAG + KV + streamer)
+//!    placed across a 2-rack Clos with the DAG under a [`DiurnalLoad`]
+//!    arrival curve, run twice to pin determinism.
+//!
+//! Writes `BENCH_pr9.json` (path overridable as argv[1]) and prints
+//! tables. Run with: `cargo run --release --bin bench_topo`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use snap_repro::apps::dag::{DagSpec, OpenLoop, ServiceSpec, ServiceTime};
+use snap_repro::apps::kv::KvSpec;
+use snap_repro::apps::pool::{ClientPool, PoolReport, PoolSpec};
+use snap_repro::apps::stream::StreamSpec;
+use snap_repro::apps::transport::Backend;
+use snap_repro::fleet::{run_mixed_fleet, FleetSpec};
+use snap_repro::nic::fabric::SwitchId;
+use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::sim::dist::DiurnalLoad;
+use snap_repro::sim::stats::Histogram;
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+use snap_repro::topo::ClosSpec;
+
+const SEED: u64 = 42;
+
+// ---------------------------------------------------------------- §5.2
+
+const A2A_RACKS: u32 = 7;
+const A2A_HOSTS_PER_RACK: u32 = 6;
+const A2A_SPINES: u32 = 3;
+const A2A_ROUNDS: u64 = 3;
+const A2A_MSG_BYTES: u64 = 8_000;
+
+#[derive(PartialEq, Debug)]
+struct AllToAllResult {
+    received: u64,
+    expected: u64,
+    p50: Nanos,
+    p99: Nanos,
+    makespan: Nanos,
+    trunk_bytes: u64,
+    spines_used: u32,
+    switch_drops: u64,
+}
+
+/// Every host sends `A2A_ROUNDS` messages to one peer in each other
+/// rack (rack-shifted by one rack's worth of hosts per step) — the
+/// §5.2 all-to-all pattern at 42 hosts.
+fn all_to_all() -> AllToAllResult {
+    let hosts = (A2A_RACKS * A2A_HOSTS_PER_RACK) as usize;
+    let mut tb = Testbed::new(TestbedConfig {
+        hosts,
+        seed: SEED,
+        topology: Some(ClosSpec::clos(A2A_RACKS, A2A_HOSTS_PER_RACK, A2A_SPINES)),
+        ..TestbedConfig::default()
+    });
+    let mut clients = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        clients.push(tb.pony_app(h, &format!("a2a{h}"), |_| {}));
+    }
+    // One connection per (src, other-rack peer): src i targets
+    // i + k * hosts_per_rack (mod N) — same slot, every other rack.
+    let mut conns: Vec<(usize, usize, u64)> = Vec::new();
+    for src in 0..hosts {
+        for k in 1..A2A_RACKS as usize {
+            let dst = (src + k * A2A_HOSTS_PER_RACK as usize) % hosts;
+            let conn = tb.connect(src, &format!("a2a{src}"), dst, &format!("a2a{dst}"));
+            clients[dst].submit(
+                &mut tb.sim,
+                PonyCommand::PostRecvBuffers {
+                    conn,
+                    count: 2 * A2A_ROUNDS as u32,
+                },
+            );
+            conns.push((src, dst, conn));
+        }
+    }
+    let expected = conns.len() as u64 * A2A_ROUNDS;
+
+    let start = tb.sim.now();
+    let mut sent_round_at: Vec<Nanos> = Vec::new();
+    let mut latency = Histogram::new();
+    let mut received = 0u64;
+    let collect =
+        |tb: &mut Testbed, clients: &mut Vec<snap_repro::pony::PonyClient>,
+         latency: &mut Histogram, sent_round_at: &[Nanos], received: &mut u64| {
+            let now = tb.sim.now();
+            for c in clients.iter_mut() {
+                for comp in c.take_completions() {
+                    if let PonyCompletion::RecvMsg { msg, .. } = comp {
+                        // msg is the per-connection sequence number =
+                        // the round it was sent in.
+                        if let Some(&t0) = sent_round_at.get(msg as usize) {
+                            latency.record_nanos(now.saturating_sub(t0));
+                        }
+                        *received += 1;
+                    }
+                }
+            }
+        };
+    for _round in 0..A2A_ROUNDS {
+        sent_round_at.push(tb.sim.now());
+        for &(src, _, conn) in &conns {
+            clients[src].submit(
+                &mut tb.sim,
+                PonyCommand::Send {
+                    conn,
+                    stream: 0,
+                    len: A2A_MSG_BYTES,
+                },
+            );
+        }
+        // Poll finely within the round so latency quantiles resolve
+        // below the round length.
+        for _ in 0..12 {
+            tb.run_us(25);
+            collect(&mut tb, &mut clients, &mut latency, &sent_round_at, &mut received);
+        }
+    }
+    let deadline = tb.sim.now() + Nanos::from_millis(100);
+    while received < expected && tb.sim.now() < deadline {
+        tb.run_us(100);
+        collect(&mut tb, &mut clients, &mut latency, &sent_round_at, &mut received);
+    }
+    let makespan = tb.sim.now().saturating_sub(start);
+
+    let mut per_spine: HashMap<u32, u64> = HashMap::new();
+    let mut trunk_bytes = 0u64;
+    for ((from, _to), s) in tb.fabric.trunks() {
+        trunk_bytes += s.bytes;
+        if let SwitchId::Spine(sp) = from {
+            *per_spine.entry(sp).or_insert(0) += s.forwarded;
+        }
+    }
+    AllToAllResult {
+        received,
+        expected,
+        p50: Nanos(latency.median()),
+        p99: Nanos(latency.p99()),
+        makespan,
+        trunk_bytes,
+        spines_used: per_spine.values().filter(|&&f| f > 0).count() as u32,
+        switch_drops: tb.fabric.stats().switch_drops,
+    }
+}
+
+// -------------------------------------------------------------- incast
+
+const INCAST_SPEC: (u32, u32, u32) = (4, 4, 2); // racks, hosts/rack, spines
+
+struct IncastResult {
+    backend: &'static str,
+    fan_in: usize,
+    report: PoolReport,
+    dst_leaf_drops: u64,
+    other_switch_drops: u64,
+    wall_secs: f64,
+}
+
+/// `fan_in` closed-loop clients, one per host spread over the non-server
+/// racks, all hammering one server on host 0 (rack 0). Request-heavy
+/// (16 KB up, 128 B back): the congestion point is the server's leaf.
+fn incast(backend: Backend, fan_in: usize, topology: ClosSpec) -> IncastResult {
+    let started = Instant::now();
+    let (racks, hpr, _) = INCAST_SPEC;
+    let hosts = (racks * hpr) as usize;
+    assert!(fan_in <= hosts - hpr as usize, "clients live outside rack 0");
+    let mut tb = Testbed::new(TestbedConfig {
+        hosts,
+        seed: SEED,
+        topology: Some(topology),
+        ..TestbedConfig::default()
+    });
+    let server_sh = tb.app(0, "srv", backend);
+    let mut pairs = Vec::with_capacity(fan_in);
+    for c in 0..fan_in {
+        let host = hpr as usize + c; // hosts 4.. are racks 1..
+        let name = format!("cli{c}");
+        tb.app(host, &name, backend);
+        let dial = tb
+            .app_connect(host, &name, 0, "srv")
+            .expect("facade endpoints wire");
+        let accepted = server_sh.listener().accept().expect("server accepts");
+        pairs.push((dial, accepted));
+    }
+    let mut pool = ClientPool::new(
+        PoolSpec {
+            request_bytes: 16 * 1024,
+            reply_bytes: 128,
+            window: 4,
+            think: Nanos::ZERO,
+            service: ServiceTime::Exponential { mean_us: 2.0 },
+            requests_per_client: 15,
+        },
+        pairs,
+        SEED,
+    );
+    let report = pool
+        .run(tb.as_pump(), Nanos::from_millis(900))
+        .expect("incast completes within budget");
+
+    let mut dst_leaf_drops = 0u64;
+    let mut other_switch_drops = 0u64;
+    for ((sw, _class), n) in tb.fabric.switch_drop_breakdown() {
+        if sw == SwitchId::Leaf(0) {
+            dst_leaf_drops += n;
+        } else {
+            other_switch_drops += n;
+        }
+    }
+    IncastResult {
+        backend: backend.label(),
+        fan_in,
+        report,
+        dst_leaf_drops,
+        other_switch_drops,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The oversubscription probe: four echo servers fill rack 0, and
+/// twelve closed-loop clients (every host of racks 1-3) each hammer
+/// one of them, request-heavy. Aggregate demand into rack 0 is four
+/// hosts' worth of bandwidth; at 4:1 the rack's trunk aggregate is
+/// one host's worth, so the down-trunks queue. At 1:1 they are never
+/// the bottleneck.
+fn oversub_mn(backend: Backend, topology: ClosSpec) -> IncastResult {
+    let started = Instant::now();
+    let (racks, hpr, _) = INCAST_SPEC;
+    let hosts = (racks * hpr) as usize;
+    let servers = hpr as usize; // rack 0, fully populated
+    let fan_in = hosts - servers;
+    let mut tb = Testbed::new(TestbedConfig {
+        hosts,
+        seed: SEED,
+        topology: Some(topology),
+        ..TestbedConfig::default()
+    });
+    let server_shs: Vec<_> = (0..servers)
+        .map(|s| tb.app(s, &format!("srv{s}"), backend))
+        .collect();
+    let mut pairs = Vec::with_capacity(fan_in);
+    for c in 0..fan_in {
+        let host = servers + c;
+        let srv = c % servers;
+        let name = format!("cli{c}");
+        tb.app(host, &name, backend);
+        let dial = tb
+            .app_connect(host, &name, srv, &format!("srv{srv}"))
+            .expect("facade endpoints wire");
+        let accepted = server_shs[srv].listener().accept().expect("server accepts");
+        pairs.push((dial, accepted));
+    }
+    let mut pool = ClientPool::new(
+        PoolSpec {
+            request_bytes: 64 * 1024,
+            reply_bytes: 128,
+            window: 8,
+            think: Nanos::ZERO,
+            service: ServiceTime::Exponential { mean_us: 2.0 },
+            requests_per_client: 15,
+        },
+        pairs,
+        SEED,
+    );
+    let report = pool
+        .run(tb.as_pump(), Nanos::from_millis(4_000))
+        .expect("oversub run completes within budget");
+
+    let mut dst_leaf_drops = 0u64;
+    let mut other_switch_drops = 0u64;
+    for ((sw, _class), n) in tb.fabric.switch_drop_breakdown() {
+        if sw == SwitchId::Leaf(0) {
+            dst_leaf_drops += n;
+        } else {
+            other_switch_drops += n;
+        }
+    }
+    IncastResult {
+        backend: backend.label(),
+        fan_in,
+        report,
+        dst_leaf_drops,
+        other_switch_drops,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+// ------------------------------------------------------------- diurnal
+
+struct DiurnalResult {
+    dag_completed: u64,
+    dag_p50: Nanos,
+    dag_p99: Nanos,
+    kv_verified: u64,
+    kv_p99: Nanos,
+    stream_records: u64,
+    trunk_bytes: u64,
+}
+
+/// The mixed fleet placed across a 2-rack Clos: the DAG spans the
+/// racks (frontend + leaf in rack 0, both mids in rack 1), the KV pair
+/// and the streamer each cross racks, and the DAG's open loop follows
+/// a diurnal curve — peak arrivals 60% above the trough.
+fn diurnal_fleet() -> DiurnalResult {
+    let mut tb = Testbed::new(TestbedConfig {
+        hosts: 4,
+        seed: SEED,
+        topology: Some(ClosSpec::clos(2, 2, 2)),
+        ..TestbedConfig::default()
+    });
+    let dag = DagSpec {
+        services: vec![
+            ServiceSpec {
+                name: "frontend".into(),
+                host: 0,
+                time: ServiceTime::Constant(Nanos::from_micros(4)),
+                concurrency: 16,
+                children: vec![1, 2],
+            },
+            ServiceSpec {
+                name: "mid-a".into(),
+                host: 2,
+                time: ServiceTime::Exponential { mean_us: 12.0 },
+                concurrency: 8,
+                children: vec![3],
+            },
+            ServiceSpec {
+                name: "mid-b".into(),
+                host: 3,
+                time: ServiceTime::LogNormal {
+                    median_us: 10.0,
+                    sigma: 0.7,
+                },
+                concurrency: 8,
+                children: vec![3],
+            },
+            ServiceSpec {
+                name: "leaf".into(),
+                host: 1,
+                time: ServiceTime::Exponential { mean_us: 6.0 },
+                concurrency: 16,
+                children: vec![],
+            },
+        ],
+        request_bytes: 512,
+        reply_bytes: 256,
+    };
+    let spec = FleetSpec {
+        dag,
+        dag_load: OpenLoop::diurnal(
+            DiurnalLoad {
+                base_rate: 6_000.0,
+                swing: 0.6,
+                period: Nanos::from_millis(10),
+                noise: 0.05,
+            },
+            60,
+        ),
+        kv: KvSpec {
+            keys: 64,
+            zipf_s: 1.1,
+            value_bytes: 128,
+            lookup: ServiceTime::Exponential { mean_us: 3.0 },
+            rate_per_sec: 6_000.0,
+            requests: 40,
+        },
+        kv_hosts: (1, 3),
+        stream: StreamSpec {
+            record_bytes: 8 * 1024,
+            rate_per_sec: 2_000.0,
+            records: 25,
+        },
+        stream_hosts: (2, 0),
+        mem_quota: (256 * 1024, 512 * 1024),
+        budget: Nanos::from_millis(500),
+    };
+    let report = run_mixed_fleet(&mut tb, &spec).expect("diurnal fleet completes");
+    let trunk_bytes = tb.fabric.trunks().iter().map(|(_, s)| s.bytes).sum();
+    DiurnalResult {
+        dag_completed: report.dag.results.len() as u64,
+        dag_p50: report.dag.p50,
+        dag_p99: report.dag.p99,
+        kv_verified: report.kv.verified,
+        kv_p99: report.kv.p99,
+        stream_records: report.stream.records,
+        trunk_bytes,
+    }
+}
+
+// ---------------------------------------------------------------- main
+
+fn incast_json(r: &IncastResult) -> String {
+    format!(
+        concat!(
+            "{{\"backend\": \"{}\", \"fan_in\": {}, \"completed\": {}, ",
+            "\"p50_ns\": {}, \"p99_ns\": {}, \"throughput_rps\": {:.0}, ",
+            "\"dst_leaf_drops\": {}, \"other_switch_drops\": {}, \"wall_secs\": {:.4}}}"
+        ),
+        r.backend,
+        r.fan_in,
+        r.report.completed,
+        r.report.p50.as_nanos(),
+        r.report.p99.as_nanos(),
+        r.report.throughput_rps(),
+        r.dst_leaf_drops,
+        r.other_switch_drops,
+        r.wall_secs,
+    )
+}
+
+fn incast_row(r: &IncastResult) {
+    println!(
+        "{:<6} {:>6} {:>9} {:>11} {:>11} {:>12.0} {:>10} {:>10}",
+        r.backend,
+        r.fan_in,
+        r.report.completed,
+        r.report.p50.as_nanos(),
+        r.report.p99.as_nanos(),
+        r.report.throughput_rps(),
+        r.dst_leaf_drops,
+        r.other_switch_drops,
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+
+    snap_bench::header("Multi-rack Clos fabric (PR 9)");
+
+    // 1. Paper-scale all-to-all, twice: determinism is load-bearing.
+    println!(
+        "\n[1/4] all-to-all: {} hosts ({} racks x {}, {} spines), {} rounds x {} conns",
+        A2A_RACKS * A2A_HOSTS_PER_RACK,
+        A2A_RACKS,
+        A2A_HOSTS_PER_RACK,
+        A2A_SPINES,
+        A2A_ROUNDS,
+        (A2A_RACKS * A2A_HOSTS_PER_RACK) * (A2A_RACKS - 1),
+    );
+    let a2a_started = Instant::now();
+    let a2a = all_to_all();
+    let again = all_to_all();
+    assert_eq!(a2a, again, "42-host all-to-all must be deterministic");
+    let a2a_wall = a2a_started.elapsed().as_secs_f64();
+    assert_eq!(a2a.received, a2a.expected, "every message delivered");
+    assert_eq!(a2a.spines_used, A2A_SPINES, "ECMP spread over every spine");
+    println!(
+        "    delivered {}/{} msgs  p50 {} ns  p99 {} ns  makespan {} us  trunk {} MB  spines {}  (x2 runs, identical, {:.1}s)",
+        a2a.received,
+        a2a.expected,
+        a2a.p50.as_nanos(),
+        a2a.p99.as_nanos(),
+        a2a.makespan.as_micros(),
+        a2a.trunk_bytes / 1_000_000,
+        a2a.spines_used,
+        a2a_wall,
+    );
+
+    // 2. Incast sweep over both backends.
+    println!(
+        "\n[2/4] N:1 incast on a {}x{} Clos ({} spines), 16 KB requests, closed loop (window 4)",
+        INCAST_SPEC.0, INCAST_SPEC.1, INCAST_SPEC.2
+    );
+    println!(
+        "{:<6} {:>6} {:>9} {:>11} {:>11} {:>12} {:>10} {:>10}",
+        "stack", "fan_in", "completed", "p50_ns", "p99_ns", "rps", "leaf0_drop", "other_drop"
+    );
+    let mut incasts = Vec::new();
+    for &backend in &[Backend::Tcp, Backend::Pony] {
+        for &fan_in in &[2usize, 6, 12] {
+            let (racks, hpr, spines) = INCAST_SPEC;
+            let r = incast(backend, fan_in, ClosSpec::clos(racks, hpr, spines));
+            incast_row(&r);
+            incasts.push(r);
+        }
+    }
+
+    // 3. Oversubscription: 12 clients -> 4 servers (all of rack 0),
+    // on 1:1 vs 4:1 trunks.
+    println!("\n[3/4] oversubscription: 12:4 cross-rack pool, non-blocking (1:1) vs 4:1 trunks");
+    println!(
+        "{:<6} {:>6} {:>9} {:>11} {:>11} {:>12} {:>10} {:>10}",
+        "stack", "ratio", "completed", "p50_ns", "p99_ns", "rps", "leaf0_drop", "other_drop"
+    );
+    let mut oversub = Vec::new();
+    for &backend in &[Backend::Tcp, Backend::Pony] {
+        for &ratio in &[1.0f64, 4.0] {
+            let (racks, hpr, spines) = INCAST_SPEC;
+            let spec = ClosSpec::clos(racks, hpr, spines).with_oversubscription(ratio, 50.0);
+            let r = oversub_mn(backend, spec);
+            println!(
+                "{:<6} {:>6} {:>9} {:>11} {:>11} {:>12.0} {:>10} {:>10}",
+                r.backend,
+                ratio,
+                r.report.completed,
+                r.report.p50.as_nanos(),
+                r.report.p99.as_nanos(),
+                r.report.throughput_rps(),
+                r.dst_leaf_drops,
+                r.other_switch_drops,
+            );
+            oversub.push((ratio, r));
+        }
+    }
+
+    // 4. Diurnal mixed fleet across racks, twice (determinism).
+    println!("\n[4/4] diurnal mixed fleet on a 2-rack Clos");
+    let d = diurnal_fleet();
+    let d2 = diurnal_fleet();
+    assert_eq!(
+        (d.dag_p50, d.dag_p99, d.kv_p99),
+        (d2.dag_p50, d2.dag_p99, d2.kv_p99),
+        "diurnal fleet must be deterministic"
+    );
+    assert!(d.trunk_bytes > 0, "fleet traffic crossed the spine layer");
+    println!(
+        "    dag {}/60 (p50 {} ns, p99 {} ns)  kv {}/40 (p99 {} ns)  stream {}/25  trunk {} KB",
+        d.dag_completed,
+        d.dag_p50.as_nanos(),
+        d.dag_p99.as_nanos(),
+        d.kv_verified,
+        d.kv_p99.as_nanos(),
+        d.stream_records,
+        d.trunk_bytes / 1_000,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"topo_clos\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"all_to_all\": {{\"hosts\": {}, \"racks\": {}, \"spines\": {}, \"delivered\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"makespan_us\": {}, \"trunk_bytes\": {}, \"spines_used\": {}, \"switch_drops\": {}, \"deterministic\": true}},",
+        A2A_RACKS * A2A_HOSTS_PER_RACK,
+        A2A_RACKS,
+        A2A_SPINES,
+        a2a.received,
+        a2a.p50.as_nanos(),
+        a2a.p99.as_nanos(),
+        a2a.makespan.as_micros(),
+        a2a.trunk_bytes,
+        a2a.spines_used,
+        a2a.switch_drops,
+    );
+    let _ = writeln!(
+        json,
+        "  \"incast\": [{}],",
+        incasts.iter().map(incast_json).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"oversubscription\": [{}],",
+        oversub
+            .iter()
+            .map(|(ratio, r)| format!("{{\"ratio\": {ratio}, \"run\": {}}}", incast_json(r)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"diurnal_fleet\": {{\"dag_completed\": {}, \"dag_p50_ns\": {}, \"dag_p99_ns\": {}, \"kv_verified\": {}, \"kv_p99_ns\": {}, \"stream_records\": {}, \"trunk_bytes\": {}, \"deterministic\": true}}",
+        d.dag_completed,
+        d.dag_p50.as_nanos(),
+        d.dag_p99.as_nanos(),
+        d.kv_verified,
+        d.kv_p99.as_nanos(),
+        d.stream_records,
+        d.trunk_bytes,
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

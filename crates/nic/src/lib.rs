@@ -32,6 +32,9 @@ pub mod nic;
 pub mod packet;
 
 pub use copy_engine::CopyEngine;
-pub use fabric::{DropReasons, Fabric, FabricConfig, FabricHandle, FabricStats, LinkStats};
+pub use fabric::{
+    ClosSpec, DropReasons, Fabric, FabricConfig, FabricHandle, FabricStats, LinkStats, SwitchId,
+    TrunkStats,
+};
 pub use nic::{NicConfig, NicStats, VirtNic};
 pub use packet::{HostId, Packet, QosClass};

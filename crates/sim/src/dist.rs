@@ -100,7 +100,7 @@ impl Zipf {
 
 /// A diurnal load curve: a base rate modulated by a day-scale sinusoid
 /// plus bounded noise, mimicking the production dashboard of Fig. 8.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct DiurnalLoad {
     /// Trough-to-peak midpoint rate, in operations per second.
     pub base_rate: f64,

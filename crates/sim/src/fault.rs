@@ -195,6 +195,37 @@ pub enum FaultEvent {
         /// CPU cost multiplier, `>= 1.0` to slow down.
         factor: f64,
     },
+    /// Fail the bidirectional trunk between a leaf (rack) and a spine
+    /// switch: ECMP stops hashing flows onto it and in-flight packets
+    /// committed to the dead path are dropped, until a matching
+    /// [`FaultEvent::TrunkUp`]. Only meaningful on a multi-rack
+    /// topology; harnesses running a single-switch fabric ignore it.
+    TrunkDown {
+        /// Leaf (rack) end of the trunk.
+        leaf: u32,
+        /// Spine end of the trunk.
+        spine: u32,
+    },
+    /// Restore a trunk failed by [`FaultEvent::TrunkDown`].
+    TrunkUp {
+        /// Leaf (rack) end of the trunk.
+        leaf: u32,
+        /// Spine end of the trunk.
+        spine: u32,
+    },
+    /// Brown out a leaf (top-of-rack) switch: every packet transiting
+    /// it is dropped with `drop_prob` and survivors pick up `extra`
+    /// latency — a sick switch that is degraded, not dead (the gray
+    /// middle ground between healthy and [`FaultEvent::TrunkDown`]).
+    /// A `drop_prob` of zero with zero `extra` heals the leaf.
+    LeafBrownout {
+        /// Rack whose leaf switch is browned out.
+        rack: u32,
+        /// Per-packet drop probability in `[0, 1]`.
+        drop_prob: f64,
+        /// Extra latency added to surviving packets.
+        extra: Nanos,
+    },
 }
 
 /// Parameters of a log-normal extra-delay distribution used by
@@ -262,8 +293,28 @@ impl FaultPlan {
         engines_per_host: u32,
         count: usize,
     ) -> Self {
+        Self::randomized_topo(seed, horizon, hosts, engines_per_host, count, 1, 0)
+    }
+
+    /// [`FaultPlan::randomized`] over a multi-rack topology: with
+    /// `spines > 0`, two extra topology-aware arms join the mix —
+    /// trunk (leaf↔spine link) failure and leaf-switch brownout, both
+    /// always healed within the horizon. With `spines == 0` the arm
+    /// set and draw sequence are **byte-identical** to
+    /// [`FaultPlan::randomized`], so existing seeds keep their plans.
+    pub fn randomized_topo(
+        seed: u64,
+        horizon: Nanos,
+        hosts: u32,
+        engines_per_host: u32,
+        count: usize,
+        racks: u32,
+        spines: u32,
+    ) -> Self {
         assert!(hosts >= 2, "fault plans need at least two hosts");
         assert!(engines_per_host >= 1, "need at least one engine slot");
+        assert!(racks >= 1, "need at least one rack");
+        let arms = if spines > 0 { 13 } else { 11 };
         let mut rng = Rng::new(seed).stream(0x0fa1_7000);
         let mut plan = FaultPlan::new();
         for _ in 0..count {
@@ -273,7 +324,7 @@ impl FaultPlan {
             // Transient faults last 1-10% of the horizon.
             let dur = Nanos(horizon.as_nanos() / 100 * (1 + rng.below(10)));
             let end = Nanos((at + dur).as_nanos().min(horizon.as_nanos()));
-            match rng.below(11) {
+            match rng.below(arms) {
                 0 => plan = plan.at(at, FaultEvent::EngineCrash { host, engine }),
                 1 => {
                     plan = plan.at(at, FaultEvent::EngineStall { host, engine, duration: dur });
@@ -340,7 +391,7 @@ impl FaultPlan {
                         .at(at, FaultEvent::EngineSlowdown { host, engine, factor })
                         .at(end, FaultEvent::EngineSlowdown { host, engine, factor: 1.0 });
                 }
-                _ => {
+                10 => {
                     // Squeeze 50-94% of the quota, released before the
                     // horizon like every other transient fault.
                     let container = format!("c{}", rng.below(engines_per_host as u64));
@@ -355,6 +406,32 @@ impl FaultPlan {
                             },
                         )
                         .at(end, FaultEvent::ReleasePressure { host, container });
+                }
+                11 => {
+                    // Trunk failure: a leaf↔spine link dies and comes
+                    // back — ECMP must carry the flows meanwhile.
+                    let leaf = rng.below(racks as u64) as u32;
+                    let spine = rng.below(spines as u64) as u32;
+                    plan = plan
+                        .at(at, FaultEvent::TrunkDown { leaf, spine })
+                        .at(end, FaultEvent::TrunkUp { leaf, spine });
+                }
+                _ => {
+                    // Leaf brownout: 5-24% drop + 1-20us extra latency
+                    // on everything transiting one rack's ToR, healed.
+                    let rack = rng.below(racks as u64) as u32;
+                    let drop_prob = (5 + rng.below(20)) as f64 / 100.0;
+                    let extra = Nanos::from_micros(1 + rng.below(20));
+                    plan = plan
+                        .at(at, FaultEvent::LeafBrownout { rack, drop_prob, extra })
+                        .at(
+                            end,
+                            FaultEvent::LeafBrownout {
+                                rack,
+                                drop_prob: 0.0,
+                                extra: Nanos::ZERO,
+                            },
+                        );
                 }
             }
         }
@@ -632,5 +709,73 @@ mod tests {
         for (at, _) in plan.entries() {
             assert!(*at <= horizon, "event at {at} beyond horizon {horizon}");
         }
+    }
+
+    #[test]
+    fn topo_plans_without_spines_match_legacy_byte_for_byte() {
+        // The topology-aware generator with no spine layer must keep
+        // every existing seed's plan unchanged: same arm set, same
+        // draw sequence.
+        let legacy = FaultPlan::randomized(42, Nanos::from_millis(50), 6, 2, 120);
+        let topo = FaultPlan::randomized_topo(42, Nanos::from_millis(50), 6, 2, 120, 3, 0);
+        assert_eq!(legacy.entries(), topo.entries());
+    }
+
+    #[test]
+    fn topo_plans_draw_trunk_and_brownout_arms() {
+        let plan = FaultPlan::randomized_topo(42, Nanos::from_millis(50), 12, 2, 200, 3, 2);
+        let (mut trunk, mut brown) = (0, 0);
+        for (_, ev) in plan.entries() {
+            match ev {
+                FaultEvent::TrunkDown { leaf, spine } => {
+                    trunk += 1;
+                    assert!(*leaf < 3 && *spine < 2);
+                }
+                FaultEvent::LeafBrownout { rack, drop_prob, extra } if *drop_prob > 0.0 => {
+                    brown += 1;
+                    assert!(*rack < 3);
+                    assert!((0.05..=0.24).contains(drop_prob), "prob {drop_prob}");
+                    assert!(*extra <= Nanos::from_micros(20));
+                }
+                _ => {}
+            }
+        }
+        assert!(trunk > 0, "no trunk-failure arm in 200 draws");
+        assert!(brown > 0, "no brownout arm in 200 draws");
+    }
+
+    #[test]
+    fn topo_trunks_and_brownouts_always_heal() {
+        let plan = FaultPlan::randomized_topo(7, Nanos::from_millis(50), 12, 2, 200, 3, 2);
+        let mut down: Vec<(u32, u32)> = Vec::new();
+        let mut browned: Vec<u32> = Vec::new();
+        let mut entries = plan.entries().to_vec();
+        entries.sort_by_key(|(at, _)| *at);
+        for (_, ev) in &entries {
+            match ev {
+                FaultEvent::TrunkDown { leaf, spine } => down.push((*leaf, *spine)),
+                FaultEvent::TrunkUp { leaf, spine } => {
+                    let idx = down
+                        .iter()
+                        .position(|t| t == &(*leaf, *spine))
+                        .expect("trunk restore matches");
+                    down.remove(idx);
+                }
+                FaultEvent::LeafBrownout { rack, drop_prob, .. } => {
+                    if *drop_prob > 0.0 {
+                        browned.push(*rack);
+                    } else {
+                        let idx = browned
+                            .iter()
+                            .position(|r| r == rack)
+                            .expect("brownout heal matches");
+                        browned.remove(idx);
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(down.is_empty(), "unrestored trunks: {down:?}");
+        assert!(browned.is_empty(), "unhealed brownouts: {browned:?}");
     }
 }

@@ -40,8 +40,8 @@ use snap_core::upgrade::UpgradeReport;
 use snap_core::{Engine, EngineId};
 use snap_health::{HealthMonitor, Target, Verdict};
 use snap_isolation::AdmissionController;
-use snap_nic::fabric::{DropReasons, FabricHandle, FabricStats, LinkStats};
-use snap_nic::HostId;
+use snap_nic::fabric::{DropReasons, FabricHandle, FabricStats, LinkStats, SwitchId, TrunkStats};
+use snap_nic::{HostId, QosClass};
 use snap_pony::engine::PonyStats;
 use snap_pony::PonyEngine;
 use snap_sim::{event, Nanos, Sim};
@@ -90,6 +90,8 @@ struct FabricWatch {
     last_stats: FabricStats,
     last_drops: HashMap<HostId, DropReasons>,
     last_links: HashMap<(HostId, HostId), LinkStats>,
+    last_trunks: HashMap<(SwitchId, SwitchId), TrunkStats>,
+    last_switch_drops: HashMap<(SwitchId, QosClass), u64>,
     last_at: Option<Nanos>,
 }
 
@@ -203,6 +205,8 @@ impl StatsModule {
             last_stats: FabricStats::default(),
             last_drops: HashMap::new(),
             last_links: HashMap::new(),
+            last_trunks: HashMap::new(),
+            last_switch_drops: HashMap::new(),
             last_at: None,
         });
     }
@@ -500,6 +504,43 @@ fn poll_fabric(registry: &Registry, w: &mut FabricWatch, now: Nanos) {
             }
         }
         w.last_links.insert((from, to), link);
+    }
+
+    // Trunk links (multi-rack topologies only; the degenerate 1-rack
+    // fabric has none). Utilization is against the trunk line rate,
+    // not the host NIC rate.
+    let trunk_gbps = w.fabric.topology().spec().trunk_gbps;
+    for ((from, to), trunk) in w.fabric.trunks() {
+        let last = w.last_trunks.get(&(from, to)).copied().unwrap_or_default();
+        let scope = registry.scoped(&format!("fabric.trunk.{from}->{to}"));
+        let d_bytes = trunk.bytes.saturating_sub(last.bytes);
+        scope.counter("bytes").add(d_bytes);
+        scope
+            .counter("forwarded")
+            .add(trunk.forwarded.saturating_sub(last.forwarded));
+        scope
+            .counter("drops")
+            .add(trunk.drops.saturating_sub(last.drops));
+        if window > 0 && trunk_gbps > 0.0 {
+            let pct = (d_bytes as f64 * 8.0) / (trunk_gbps * window as f64) * 100.0;
+            scope.gauge("util_pct").set(pct.round() as i64);
+        }
+        w.last_trunks.insert((from, to), trunk);
+    }
+
+    // Per-switch, per-priority egress drop attribution (sums to the
+    // rack-wide `fabric.switch_drops`).
+    for ((sw, qos), total) in w.fabric.switch_drop_breakdown() {
+        let last = w.last_switch_drops.get(&(sw, qos)).copied().unwrap_or(0);
+        let class = match qos {
+            QosClass::Transport => "transport",
+            QosClass::BestEffort => "best_effort",
+        };
+        registry
+            .scoped(&format!("fabric.switch.{sw}.drops"))
+            .counter(class)
+            .add(total.saturating_sub(last));
+        w.last_switch_drops.insert((sw, qos), total);
     }
     w.last_at = Some(now);
 }

@@ -1,0 +1,30 @@
+//! `snap-topo`: the datacenter topology under the simulated fabric.
+//!
+//! Snap's evaluation runs across racks of a real Clos fabric (§5.2 runs
+//! 42 machines; the transport's Timely-style congestion control exists
+//! *because* of cross-rack congestion and incast). This crate is the
+//! declarative description of that fabric: a [`ClosSpec`] names racks of
+//! hosts hanging off leaf (top-of-rack) switches, a spine layer joining
+//! the leaves, per-tier link rates/propagation/buffering, and the QoS
+//! dequeue discipline — and compiles into a [`Topology`] the fabric
+//! routes packets through hop by hop.
+//!
+//! Everything here is *pure data and math*: route selection (seeded
+//! deterministic ECMP flow hashing), oversubscription arithmetic, and
+//! the weighted per-priority egress serialization model. The
+//! event-driven execution (buffers, serialization events, fault draws)
+//! stays in `snap-nic`'s fabric, which consumes these tables. Keeping
+//! the crate free of fabric types means the same topology can also be
+//! interrogated by benches and telemetry without touching a live
+//! simulation.
+//!
+//! The single-switch fabric every earlier PR used is the degenerate
+//! instance [`ClosSpec::single_rack`]: one rack, no spine layer. The
+//! fabric's behavior on it is bit-identical to the legacy single-switch
+//! code (proptest-pinned in `tests/topo.rs`).
+
+pub mod clos;
+pub mod qos;
+
+pub use clos::{ClosSpec, Node, SwitchId, TopologyError, Topology};
+pub use qos::{PortLanes, QosSchedule, NUM_PRIORITIES};

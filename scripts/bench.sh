@@ -8,6 +8,7 @@
 #   bench.sh pr5 [out]  — trace overhead only (default BENCH_pr5.json)
 #   bench.sh pr6 [out]  — gray-failure health only (default BENCH_pr6.json)
 #   bench.sh pr8 [out]  — app DAG over TCP vs Pony (default BENCH_pr8.json)
+#   bench.sh pr9 [out]  — multi-rack Clos scenarios (default BENCH_pr9.json)
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
@@ -29,6 +30,12 @@
 #      the kernel-TCP and Pony sockets backends; reports per-backend
 #      p50/p99 plus the queue/service/transport critical-path split,
 #      cross-checked against the trace recorder's app_* stages.
+# pr9: paper-scale topology scenarios on compiled spine/leaf Clos
+#      fabrics — the §5.2 42-host all-to-all (run twice, must be
+#      bit-identical), an N:1 closed-loop incast sweep over both
+#      backends, a 12:4 cross-rack pool on non-blocking vs 4:1
+#      oversubscribed trunks, and the mixed fleet under a diurnal
+#      arrival curve spanning two racks.
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -69,6 +76,11 @@ run_pr8() {
     cargo run --release -q -p snap-bench --bin bench_apps "${1:-BENCH_pr8.json}"
 }
 
+run_pr9() {
+    cargo build --release -p snap-bench --bin bench_topo
+    cargo run --release -q -p snap-bench --bin bench_topo "${1:-BENCH_pr9.json}"
+}
+
 case "$mode" in
     all)
         run_pr2
@@ -77,6 +89,7 @@ case "$mode" in
         run_pr5
         run_pr6
         run_pr8
+        run_pr9
         ;;
     pr2)
         run_pr2 "${2:-}"
@@ -95,6 +108,9 @@ case "$mode" in
         ;;
     pr8)
         run_pr8 "${2:-}"
+        ;;
+    pr9)
+        run_pr9 "${2:-}"
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The tier-1 gate, exactly as the roadmap defines it: release build,
+# full test suite, clippy clean across every target. Run before every
+# merge; everything is deterministic (seeded virtual time), so a green
+# run here is a green run anywhere.
+#
+#   ci.sh            — build + test + clippy
+#
+# PROPTEST_CASES can be exported to shrink or grow the property-test
+# budget (default 64 cases per property).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test =="
+cargo test -q
+
+echo "== tier-1: cargo clippy --workspace --all-targets =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1 gate: OK"

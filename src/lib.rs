@@ -22,6 +22,7 @@ pub use snap_shm as shm;
 pub use snap_sim as sim;
 pub use snap_tcp as tcp;
 pub use snap_telemetry as telemetry;
+pub use snap_topo as topo;
 
 pub use snap_health as health;
 

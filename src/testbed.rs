@@ -31,6 +31,7 @@ use snap_shm::region::RegionRegistry;
 use snap_sim::fault::{FaultEvent, FaultPlan};
 use snap_sim::trace::TraceRecorder;
 use snap_sim::{Nanos, Sim};
+use snap_topo::ClosSpec;
 
 use crate::health_rig::{HealthRig, HealthRigConfig, PROBER_APP};
 use snap_tcp::stack::{TcpConfig, TcpHost};
@@ -62,6 +63,12 @@ pub struct TestbedConfig {
     /// and never touch the simulation RNG streams, so any rate leaves
     /// modeled time byte-identical.
     pub trace_sample_ppm: u32,
+    /// Fabric topology. `None` (the default) builds the classic
+    /// single-switch rack; `Some(spec)` compiles a spine/leaf Clos and
+    /// routes cross-rack traffic over its trunks. Hosts are assigned to
+    /// racks in creation order (`rack = host / hosts_per_rack`), so
+    /// `hosts` should normally be `racks * hosts_per_rack`.
+    pub topology: Option<ClosSpec>,
 }
 
 impl Default for TestbedConfig {
@@ -75,6 +82,7 @@ impl Default for TestbedConfig {
             seed: 42,
             admission: false,
             trace_sample_ppm: 0,
+            topology: None,
         }
     }
 }
@@ -125,11 +133,14 @@ pub struct Testbed {
 impl Testbed {
     /// Builds and starts a rack.
     pub fn new(cfg: TestbedConfig) -> Self {
-        let fabric = FabricHandle::new(FabricConfig {
-            loss_prob: cfg.loss,
-            seed: cfg.seed,
-            ..FabricConfig::default()
-        });
+        let fabric = FabricHandle::with_topology(
+            FabricConfig {
+                loss_prob: cfg.loss,
+                seed: cfg.seed,
+                ..FabricConfig::default()
+            },
+            cfg.topology.clone().unwrap_or_else(ClosSpec::single_rack),
+        );
         let net = new_net();
         let mut sim = Sim::new();
         // One recorder spans the rack: it is the distributed-tracing
@@ -227,6 +238,18 @@ impl Testbed {
     /// A two-host testbed with defaults — the quickest start.
     pub fn pair() -> Self {
         Self::new(TestbedConfig::default())
+    }
+
+    /// A multi-rack Clos testbed: `racks * hosts_per_rack` hosts behind
+    /// leaf switches cross-connected by `spines` spines, otherwise
+    /// default configuration. The paper-scale deployment of §5.2 is
+    /// `Testbed::clos(7, 6, 3)` — 42 hosts.
+    pub fn clos(racks: u32, hosts_per_rack: u32, spines: u32) -> Self {
+        Self::new(TestbedConfig {
+            hosts: (racks * hosts_per_rack) as usize,
+            topology: Some(ClosSpec::clos(racks, hosts_per_rack, spines)),
+            ..TestbedConfig::default()
+        })
     }
 
     /// Creates a Pony engine + session for `app` on `host` and returns
@@ -483,6 +506,17 @@ impl Testbed {
                     g.slow_engine(EngineId(engine), factor);
                 }
             }
+            // Topology arms. Trunk events are inert on a single-switch
+            // fabric (no trunk is ever routed over); a brownout of rack
+            // 0 browns out the lone ToR, which is the right degenerate
+            // reading.
+            FaultEvent::TrunkDown { leaf, spine } => fabric.fail_trunk(leaf, spine),
+            FaultEvent::TrunkUp { leaf, spine } => fabric.restore_trunk(leaf, spine),
+            FaultEvent::LeafBrownout {
+                rack,
+                drop_prob,
+                extra,
+            } => fabric.set_leaf_brownout(rack, drop_prob, extra),
         });
     }
 

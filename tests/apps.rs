@@ -127,7 +127,7 @@ proptest! {
 
         let spec = small_dag();
         let mut dag = tb.dag("gray", &spec, Backend::Pony).expect("spec wires");
-        let load = OpenLoop { rate_per_sec: 4_000.0, requests: 20 };
+        let load = OpenLoop::constant(4_000.0, 20);
         let report = dag
             .run(tb.as_pump(), load, Nanos::from_millis(400))
             .expect("every request completes despite gray faults");
@@ -223,10 +223,7 @@ fn recv_deadline_uses_sim_time() {
 #[test]
 fn same_dag_spec_runs_on_both_backends_deterministically() {
     let spec = small_dag();
-    let load = OpenLoop {
-        rate_per_sec: 5_000.0,
-        requests: 40,
-    };
+    let load = OpenLoop::constant(5_000.0, 40);
     let run = |backend: Backend| {
         let mut tb = Testbed::new(TestbedConfig {
             seed: 11,
@@ -300,10 +297,7 @@ fn mixed_fleet_coschedules_dag_kv_and_stream_under_quotas() {
         });
         let spec = FleetSpec {
             dag: small_dag(),
-            dag_load: OpenLoop {
-                rate_per_sec: 4_000.0,
-                requests: 30,
-            },
+            dag_load: OpenLoop::constant(4_000.0, 30),
             kv: KvSpec {
                 keys: 64,
                 zipf_s: 1.1,
