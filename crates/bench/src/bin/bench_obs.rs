@@ -1,0 +1,580 @@
+//! Observability bench: the PR-10 flight-recorder claims.
+//!
+//! Three experiments on fixed-seed testbeds:
+//!
+//! 1. **Recorder overhead.** The PR-2 streaming workload runs bare,
+//!    then with a [`FlightRecorder`] sampling every millisecond (CPU
+//!    sampler pre-hook included). Sampling is a pure read of modeled
+//!    state, so the attached run must be *modeled-identical* — same
+//!    ops, same packets, same virtual clock — which is hard-asserted;
+//!    the wall-clock cost of carrying the recorder is reported against
+//!    a 3% budget.
+//!
+//! 2. **Scheduling-mode attribution sweep.** The same workload under
+//!    dedicated / spreading / compacting scheduling, recorder attached.
+//!    For every host the published per-core busy/spin/wake split must
+//!    sum *exactly* (nanosecond equality) to the group's total CPU
+//!    ledger, and per-engine busy must sum to the group's engine time —
+//!    the invariant that makes the `cpu.*` lanes trustworthy.
+//!
+//! 3. **Gray-failure timeline.** A 2-rack Clos (2 spines) runs a
+//!    cross-rack closed loop while a lossy-link gray failure comes and
+//!    goes; an SLO burn-rate alert must fire during the failure and
+//!    resolve after the heal. The run exports a Chrome-trace JSON
+//!    (`TIMELINE_pr10.json`) merging causal spans, CPU counter lanes,
+//!    and the fault/alert instants on one virtual-time axis.
+//!
+//! Virtual-time metrics are deterministic under the fixed seed
+//! (asserted); only wall-clock varies. Writes `BENCH_pr10.json` (path
+//! overridable as argv[1]; timeline path as argv[2]) and prints tables.
+//!
+//! Run with: `cargo run --release --bin bench_obs`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use snap_repro::core::group::SchedulingMode;
+use snap_repro::obs::{
+    AlertState, FlightRecorder, Objective, RecorderConfig, SloEngine, SloSpec, Timeline,
+};
+use snap_repro::pony::client::{PonyClient, PonyCommand, PonyCompletion};
+use snap_repro::sim::fault::{FaultEvent, FaultPlan};
+use snap_repro::sim::Nanos;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+use snap_repro::topo::ClosSpec;
+
+const SEED: u64 = 42;
+const DURATION_MS: u64 = 50;
+/// Wall-clock reps per variant; the fastest rep is reported.
+const REPS: usize = 7;
+const PUMP_US: u64 = 20;
+const STREAM_MSG_BYTES: u64 = 4096;
+const STREAM_WINDOW: usize = 32;
+const CADENCE_US: u64 = 1000;
+
+struct RunResult {
+    ops: u64,
+    packets: u64,
+    ticks: u64,
+    points: usize,
+    virtual_secs: f64,
+    wall_secs: f64,
+}
+
+impl RunResult {
+    fn wall_pkts_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_secs
+    }
+}
+
+fn engine_packets(tb: &mut Testbed, host: usize, app: &str) -> u64 {
+    use snap_repro::pony::engine::PonyEngine;
+    let id = tb.hosts[host].module.engine_for(app).expect("app exists");
+    tb.hosts[host].group.with_engine(id, |e| {
+        e.as_any()
+            .downcast_mut::<PonyEngine>()
+            .expect("pony engine")
+            .stats()
+            .tx_packets
+    })
+}
+
+/// The PR-2 streaming workload, optionally with the flight recorder
+/// (and its CPU sampler) ticking on the millisecond cadence.
+fn streaming(recorded: bool, mode: SchedulingMode) -> (RunResult, Option<FlightRecorder>) {
+    let mut tb = Testbed::new(TestbedConfig {
+        seed: SEED,
+        cores_per_host: 4,
+        mode,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "src", |_| {});
+    let mut b = tb.pony_app(1, "sink", |_| {});
+    let conn = tb.connect(0, "src", 1, "sink");
+    let rec = recorded.then(|| {
+        let rec = tb.flight_recorder(RecorderConfig {
+            cadence: Nanos::from_micros(CADENCE_US),
+            ..RecorderConfig::default()
+        });
+        rec.start(&mut tb.sim);
+        rec
+    });
+    let deadline = tb.sim.now() + Nanos::from_millis(DURATION_MS);
+    let t0 = tb.sim.now();
+    let wall = Instant::now();
+    let submit_one = |tb: &mut Testbed, a: &mut PonyClient| {
+        a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: STREAM_MSG_BYTES,
+            },
+        );
+    };
+    for _ in 0..STREAM_WINDOW {
+        submit_one(&mut tb, &mut a);
+    }
+    let mut delivered = 0u64;
+    while tb.sim.now() < deadline {
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {
+                delivered += 1;
+            }
+        }
+        for c in a.take_completions() {
+            if let PonyCompletion::OpDone { .. } = c {
+                submit_one(&mut tb, &mut a);
+            }
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let virtual_secs = (tb.sim.now() - t0).as_secs_f64();
+    if let Some(r) = &rec {
+        r.stop();
+    }
+    let packets = engine_packets(&mut tb, 0, "src") + engine_packets(&mut tb, 1, "sink");
+    let result = RunResult {
+        ops: delivered,
+        packets,
+        ticks: rec.as_ref().map(|r| r.ticks()).unwrap_or(0),
+        points: rec.as_ref().map(|r| r.retained_points()).unwrap_or(0),
+        virtual_secs,
+        wall_secs,
+    };
+    (result, rec)
+}
+
+/// Runs the bare/recorded pair REPS times *interleaved* (so slow
+/// machine phases hit both variants alike), keeps each variant's
+/// lowest-wall-time rep, and asserts the virtual-time metrics agree
+/// across reps (determinism).
+fn best_pair(mode: &SchedulingMode) -> (RunResult, RunResult) {
+    let keep = |best: &mut RunResult, r: RunResult| {
+        assert_eq!(r.ops, best.ops, "bench must be deterministic");
+        assert_eq!(r.packets, best.packets, "bench must be deterministic");
+        assert_eq!(r.ticks, best.ticks, "bench must be deterministic");
+        if r.wall_secs < best.wall_secs {
+            *best = r;
+        }
+    };
+    let mut bare = streaming(false, mode.clone()).0;
+    let mut recorded = streaming(true, mode.clone()).0;
+    for _ in 1..REPS {
+        keep(&mut bare, streaming(false, mode.clone()).0);
+        keep(&mut recorded, streaming(true, mode.clone()).0);
+    }
+    (bare, recorded)
+}
+
+fn row(name: &str, r: &RunResult) {
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>8} {:>14.0}",
+        name,
+        r.ops,
+        r.packets,
+        r.ticks,
+        r.points,
+        r.wall_pkts_per_sec(),
+    );
+}
+
+fn json_leaf(r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"ops\": {}, \"packets\": {}, \"ticks\": {}, \"points\": {}, ",
+            "\"virtual_secs\": {:.6}, \"wall_secs\": {:.6}, \"wall_pkts_per_sec\": {:.1}}}"
+        ),
+        r.ops, r.packets, r.ticks, r.points, r.virtual_secs, r.wall_secs, r.wall_pkts_per_sec(),
+    )
+}
+
+/// Per-mode CPU attribution totals, read back from the recorder's
+/// registry and cross-checked against the group ledgers.
+struct ModeSplit {
+    busy: u64,
+    spin: u64,
+    wake: u64,
+    idle: u64,
+    exact: bool,
+}
+
+fn mode_sweep(mode: SchedulingMode) -> ModeSplit {
+    let mut tb = Testbed::new(TestbedConfig {
+        seed: SEED,
+        cores_per_host: 4,
+        mode,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "src", |_| {});
+    let mut b = tb.pony_app(1, "sink", |_| {});
+    let conn = tb.connect(0, "src", 1, "sink");
+    let rec = tb.flight_recorder(RecorderConfig {
+        cadence: Nanos::from_micros(CADENCE_US),
+        ..RecorderConfig::default()
+    });
+    rec.start(&mut tb.sim);
+    for _ in 0..STREAM_WINDOW {
+        a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: STREAM_MSG_BYTES,
+            },
+        );
+    }
+    let deadline = tb.sim.now() + Nanos::from_millis(10);
+    while tb.sim.now() < deadline {
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {}
+        }
+        for c in a.take_completions() {
+            if let PonyCompletion::OpDone { .. } = c {
+                a.submit(
+                    &mut tb.sim,
+                    PonyCommand::Send {
+                        conn,
+                        stream: 0,
+                        len: STREAM_MSG_BYTES,
+                    },
+                );
+            }
+        }
+    }
+    rec.stop();
+    // One final sample so the registry carries the up-to-date split.
+    rec.sample_once(&mut tb.sim);
+    let now = tb.sim.now();
+    let snap = rec.registry().snapshot(now);
+    let mut split = ModeSplit {
+        busy: 0,
+        spin: 0,
+        wake: 0,
+        idle: 0,
+        exact: true,
+    };
+    for (h, host) in tb.hosts.iter().enumerate() {
+        let total = host.group.cpu(now);
+        let mut host_sum = 0u64;
+        let mut engine_sum = 0u64;
+        for name in snap.names_under(&format!("cpu.h{h}.core")) {
+            let v = snap.counter(name).unwrap_or(0);
+            if name.ends_with(".busy_ns") {
+                split.busy += v;
+                host_sum += v;
+            } else if name.ends_with(".spin_ns") {
+                split.spin += v;
+                host_sum += v;
+            } else if name.ends_with(".wake_ns") {
+                split.wake += v;
+                host_sum += v;
+            } else if name.ends_with(".idle_ns") {
+                split.idle += v;
+            }
+        }
+        for name in snap.names_under(&format!("cpu.h{h}.engine.")) {
+            engine_sum += snap.counter(name).unwrap_or(0);
+        }
+        // The invariant the whole exercise rests on: every group
+        // nanosecond lands on exactly one core, every engine
+        // nanosecond on exactly one engine.
+        assert_eq!(
+            host_sum,
+            total.total().as_nanos(),
+            "host {h}: per-core split must sum to the group CPU total"
+        );
+        assert_eq!(
+            engine_sum,
+            total.engine.as_nanos(),
+            "host {h}: per-engine split must sum to the group engine time"
+        );
+        split.exact &= host_sum == total.total().as_nanos();
+    }
+    split
+}
+
+fn mode_row(name: &str, s: &ModeSplit) {
+    let total = (s.busy + s.spin + s.wake + s.idle) as f64;
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>7.1}% {:>6}",
+        name,
+        s.busy,
+        s.spin,
+        s.wake,
+        s.idle,
+        (s.busy + s.spin + s.wake) as f64 / total * 100.0,
+        if s.exact { "exact" } else { "DRIFT" },
+    );
+}
+
+fn mode_leaf(s: &ModeSplit) -> String {
+    format!(
+        "{{\"busy_ns\": {}, \"spin_ns\": {}, \"wake_ns\": {}, \"idle_ns\": {}, \"exact\": {}}}",
+        s.busy, s.spin, s.wake, s.idle, s.exact,
+    )
+}
+
+struct TimelineResult {
+    ops: u64,
+    alerts_fired: usize,
+    alerts_resolved: usize,
+    spans: bool,
+    counters: bool,
+    instants: bool,
+    json: String,
+}
+
+/// The 2-rack gray-failure scenario: cross-rack closed loop, lossy
+/// link mid-run, burn-rate alert firing and resolving, everything
+/// merged into one Chrome-trace file.
+fn gray_failure_timeline() -> TimelineResult {
+    const FAULT_AT_MS: u64 = 5;
+    const HEAL_AT_MS: u64 = 12;
+    const END_MS: u64 = 30;
+    const LATENCY_SLO_NS: u64 = 150_000;
+
+    let mut tb = Testbed::new(TestbedConfig {
+        seed: SEED,
+        hosts: 4,
+        cores_per_host: 4,
+        topology: Some(ClosSpec::clos(2, 2, 2)),
+        trace_sample_ppm: 20_000,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "src", |_| {});
+    let mut b = tb.pony_app(2, "sink", |_| {});
+    let conn = tb.connect(0, "src", 2, "sink");
+
+    let rec = tb.flight_recorder(RecorderConfig {
+        cadence: Nanos::from_micros(100),
+        capacity: 1024,
+    });
+    rec.start(&mut tb.sim);
+    let mut slo = SloEngine::new();
+    slo.add(SloSpec {
+        name: "xrack-latency".to_string(),
+        objective: Objective::LatencyBelow {
+            series: "workload.latency_ns".to_string(),
+            threshold_ns: LATENCY_SLO_NS,
+        },
+        target: 0.99,
+        short_window: Nanos::from_micros(500),
+        long_window: Nanos::from_millis(2),
+        burn_threshold: 5.0,
+    });
+
+    let plan = FaultPlan::new()
+        .at(
+            Nanos::from_millis(FAULT_AT_MS),
+            FaultEvent::LinkLossy {
+                from: 0,
+                to: 2,
+                prob: 0.25,
+            },
+        )
+        .at(
+            Nanos::from_millis(HEAL_AT_MS),
+            FaultEvent::LinkLossy {
+                from: 0,
+                to: 2,
+                prob: 0.0,
+            },
+        );
+    tb.install_fault_plan(&plan);
+
+    let latency = rec.registry().histogram("workload.latency_ns");
+    let ops_counter = rec.registry().counter("workload.ops");
+    let mut submitted_at: HashMap<u64, Nanos> = HashMap::new();
+    let submit_one = |tb: &mut Testbed, a: &mut PonyClient, map: &mut HashMap<u64, Nanos>| {
+        let op = a.submit(
+            &mut tb.sim,
+            PonyCommand::Send {
+                conn,
+                stream: 0,
+                len: 2048,
+            },
+        );
+        map.insert(op, tb.sim.now());
+    };
+    submit_one(&mut tb, &mut a, &mut submitted_at);
+    let mut ops = 0u64;
+    let deadline = Nanos::from_millis(END_MS);
+    while tb.sim.now() < deadline {
+        tb.run_us(PUMP_US);
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { .. } = c {}
+        }
+        for c in a.take_completions_at(tb.sim.now()) {
+            if let PonyCompletion::OpDone { op, .. } = c {
+                if let Some(t0) = submitted_at.remove(&op) {
+                    latency.record(tb.sim.now().saturating_sub(t0).as_nanos());
+                    ops_counter.inc();
+                    ops += 1;
+                }
+                submit_one(&mut tb, &mut a, &mut submitted_at);
+            }
+        }
+        slo.evaluate(&rec, tb.sim.now());
+    }
+    rec.stop();
+
+    let fired = slo
+        .events()
+        .iter()
+        .filter(|e| e.state == AlertState::Firing)
+        .count();
+    let resolved = slo
+        .events()
+        .iter()
+        .filter(|e| e.state == AlertState::Ok)
+        .count();
+
+    let mut tl = Timeline::new();
+    for h in 0..tb.hosts.len() {
+        tl.name_process(h as u64, &format!("host h{h}"));
+    }
+    if let Some(tracer) = &tb.recorder {
+        tl.add_traces(&tracer.completed());
+    }
+    tl.add_series_under(&rec, "cpu.h0.core");
+    tl.add_series_under(&rec, "cpu.h2.core");
+    tl.add_series(&rec, "workload.latency_ns");
+    tl.add_series(&rec, "workload.ops");
+    tl.add_alerts(&slo);
+    tl.add_instant(Nanos::from_millis(FAULT_AT_MS), "fault: link 0->2 lossy 25%");
+    tl.add_instant(Nanos::from_millis(HEAL_AT_MS), "fault: link 0->2 healed");
+    let json = tl.to_json();
+    TimelineResult {
+        ops,
+        alerts_fired: fired,
+        alerts_resolved: resolved,
+        spans: json.contains("\"ph\": \"X\""),
+        counters: json.contains("\"ph\": \"C\""),
+        instants: json.contains("\"ph\": \"i\""),
+        json,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
+    let timeline_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "TIMELINE_pr10.json".to_string());
+
+    snap_bench::header("Observability (PR 10): recorder overhead + CPU attribution + timeline");
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>8} {:>14}",
+        "variant", "ops", "packets", "ticks", "points", "wall pkt/s"
+    );
+
+    // Experiment 1: recorder attached vs bare, modeled-identical.
+    let dedicated = SchedulingMode::Dedicated { cores: vec![0, 1] };
+    let (bare, recorded) = best_pair(&dedicated);
+    row("bare", &bare);
+    row("recorder", &recorded);
+    assert_eq!(
+        recorded.ops, bare.ops,
+        "recorder-attached run changed modeled ops"
+    );
+    assert_eq!(
+        recorded.packets, bare.packets,
+        "recorder-attached run changed modeled packets"
+    );
+    assert_eq!(
+        recorded.virtual_secs, bare.virtual_secs,
+        "recorder-attached run changed the virtual clock"
+    );
+    assert!(recorded.ticks > 0, "recorder never ticked");
+    let wall_overhead_pct = (1.0 - recorded.wall_pkts_per_sec() / bare.wall_pkts_per_sec()) * 100.0;
+    let within = wall_overhead_pct < 3.0;
+    println!();
+    println!(
+        "recorder overhead: modeled-identical (asserted), {wall_overhead_pct:.2}% wall-clock \
+         over {} ticks — {}",
+        recorded.ticks,
+        if within { "within 3%" } else { "OVER the 3% budget" }
+    );
+
+    // Experiment 2: per-core attribution across scheduling modes.
+    println!();
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>8} {:>6}",
+        "mode", "busy ns", "spin ns", "wake ns", "idle ns", "snap%", "sum"
+    );
+    let ded = mode_sweep(SchedulingMode::Dedicated { cores: vec![0, 1] });
+    mode_row("dedicated", &ded);
+    let spread = mode_sweep(SchedulingMode::Spreading);
+    mode_row("spreading", &spread);
+    let compact = mode_sweep(SchedulingMode::Compacting {
+        slo: Nanos::from_micros(5),
+        rebalance_poll: Nanos::from_micros(10),
+        idle_block: Nanos::from_micros(100),
+    });
+    mode_row("compacting", &compact);
+    println!("attribution: per-core split sums exactly to group CPU in every mode (asserted)");
+
+    // Experiment 3: 2-rack gray-failure timeline export.
+    let tl = gray_failure_timeline();
+    assert!(tl.spans, "timeline lost its causal spans");
+    assert!(tl.counters, "timeline lost its CPU counter lanes");
+    assert!(tl.instants, "timeline lost its fault/alert instants");
+    assert!(
+        tl.alerts_fired > 0,
+        "gray failure never fired the burn-rate alert"
+    );
+    assert!(
+        tl.alerts_resolved > 0,
+        "healed link never resolved the alert"
+    );
+    std::fs::write(&timeline_path, &tl.json).expect("write timeline json");
+    println!();
+    println!(
+        "timeline: {} ops, alert fired {}x / resolved {}x, spans+lanes+instants on one axis",
+        tl.ops, tl.alerts_fired, tl.alerts_resolved
+    );
+    println!("wrote {timeline_path} ({} bytes)", tl.json.len());
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"obs_flight_recorder\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"duration_ms\": {DURATION_MS},");
+    let _ = writeln!(json, "  \"cadence_us\": {CADENCE_US},");
+    let _ = writeln!(json, "  \"overhead\": {{");
+    let _ = writeln!(json, "    \"bare\": {},", json_leaf(&bare));
+    let _ = writeln!(json, "    \"recorder\": {},", json_leaf(&recorded));
+    let _ = writeln!(
+        json,
+        "    \"modeled_identical\": true, \"wall_pct\": {wall_overhead_pct:.3}, \
+         \"within_3pct\": {within}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"attribution\": {{");
+    let _ = writeln!(json, "    \"dedicated\": {},", mode_leaf(&ded));
+    let _ = writeln!(json, "    \"spreading\": {},", mode_leaf(&spread));
+    let _ = writeln!(json, "    \"compacting\": {}", mode_leaf(&compact));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"timeline\": {{");
+    let _ = writeln!(
+        json,
+        "    \"ops\": {}, \"alerts_fired\": {}, \"alerts_resolved\": {}, \
+         \"spans\": {}, \"cpu_lanes\": {}, \"instants\": {}, \"bytes\": {}",
+        tl.ops,
+        tl.alerts_fired,
+        tl.alerts_resolved,
+        tl.spans,
+        tl.counters,
+        tl.instants,
+        tl.json.len()
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -23,7 +23,10 @@
 //!    arrival curve, run twice to pin determinism.
 //!
 //! Writes `BENCH_pr9.json` (path overridable as argv[1]) and prints
-//! tables. Run with: `cargo run --release --bin bench_topo`
+//! tables; the all-to-all run also carries a flight recorder and is
+//! exported as a Chrome-trace timeline (`TIMELINE_pr9.json`, argv[2])
+//! with per-core CPU lanes and round markers on the virtual-time
+//! axis. Run with: `cargo run --release --bin bench_topo`
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -36,6 +39,7 @@ use snap_repro::apps::stream::StreamSpec;
 use snap_repro::apps::transport::Backend;
 use snap_repro::fleet::{run_mixed_fleet, FleetSpec};
 use snap_repro::nic::fabric::SwitchId;
+use snap_repro::obs::{FlightRecorder, RecorderConfig, Timeline};
 use snap_repro::pony::client::{PonyCommand, PonyCompletion};
 use snap_repro::sim::dist::DiurnalLoad;
 use snap_repro::sim::stats::Histogram;
@@ -68,7 +72,7 @@ struct AllToAllResult {
 /// Every host sends `A2A_ROUNDS` messages to one peer in each other
 /// rack (rack-shifted by one rack's worth of hosts per step) — the
 /// §5.2 all-to-all pattern at 42 hosts.
-fn all_to_all() -> AllToAllResult {
+fn all_to_all() -> (AllToAllResult, FlightRecorder, Vec<Nanos>) {
     let hosts = (A2A_RACKS * A2A_HOSTS_PER_RACK) as usize;
     let mut tb = Testbed::new(TestbedConfig {
         hosts,
@@ -76,6 +80,13 @@ fn all_to_all() -> AllToAllResult {
         topology: Some(ClosSpec::clos(A2A_RACKS, A2A_HOSTS_PER_RACK, A2A_SPINES)),
         ..TestbedConfig::default()
     });
+    // Flight recorder with CPU attribution: sampling is a pure read of
+    // modeled state, so the twice-run determinism assert still holds.
+    let rec = tb.flight_recorder(RecorderConfig {
+        cadence: Nanos::from_micros(100),
+        capacity: 2048,
+    });
+    rec.start(&mut tb.sim);
     let mut clients = Vec::with_capacity(hosts);
     for h in 0..hosts {
         clients.push(tb.pony_app(h, &format!("a2a{h}"), |_| {}));
@@ -145,6 +156,8 @@ fn all_to_all() -> AllToAllResult {
         collect(&mut tb, &mut clients, &mut latency, &sent_round_at, &mut received);
     }
     let makespan = tb.sim.now().saturating_sub(start);
+    rec.stop();
+    rec.sample_once(&mut tb.sim);
 
     let mut per_spine: HashMap<u32, u64> = HashMap::new();
     let mut trunk_bytes = 0u64;
@@ -154,7 +167,7 @@ fn all_to_all() -> AllToAllResult {
             *per_spine.entry(sp).or_insert(0) += s.forwarded;
         }
     }
-    AllToAllResult {
+    let result = AllToAllResult {
         received,
         expected,
         p50: Nanos(latency.median()),
@@ -163,7 +176,8 @@ fn all_to_all() -> AllToAllResult {
         trunk_bytes,
         spines_used: per_spine.values().filter(|&&f| f > 0).count() as u32,
         switch_drops: tb.fabric.stats().switch_drops,
-    }
+    };
+    (result, rec, sent_round_at)
 }
 
 // -------------------------------------------------------------- incast
@@ -463,8 +477,8 @@ fn main() {
         (A2A_RACKS * A2A_HOSTS_PER_RACK) * (A2A_RACKS - 1),
     );
     let a2a_started = Instant::now();
-    let a2a = all_to_all();
-    let again = all_to_all();
+    let (a2a, a2a_rec, a2a_rounds) = all_to_all();
+    let (again, _, _) = all_to_all();
     assert_eq!(a2a, again, "42-host all-to-all must be deterministic");
     let a2a_wall = a2a_started.elapsed().as_secs_f64();
     assert_eq!(a2a.received, a2a.expected, "every message delivered");
@@ -479,6 +493,28 @@ fn main() {
         a2a.trunk_bytes / 1_000_000,
         a2a.spines_used,
         a2a_wall,
+    );
+
+    // The all-to-all run as a Chrome-trace timeline: per-core CPU
+    // lanes for a host in the first and last rack, with each round's
+    // send burst as an instant on the same virtual-time axis.
+    let timeline_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "TIMELINE_pr9.json".to_string());
+    let mut tl = Timeline::new();
+    tl.add_series_under(&a2a_rec, "cpu.h0.");
+    tl.add_series_under(
+        &a2a_rec,
+        &format!("cpu.h{}.", (A2A_RACKS - 1) * A2A_HOSTS_PER_RACK),
+    );
+    for (round, at) in a2a_rounds.iter().enumerate() {
+        tl.add_instant(*at, &format!("round {round} send burst"));
+    }
+    std::fs::write(&timeline_path, tl.to_json()).expect("write timeline json");
+    println!(
+        "    wrote {timeline_path}: {} events over {} recorder ticks",
+        tl.len(),
+        a2a_rec.ticks()
     );
 
     // 2. Incast sweep over both backends.

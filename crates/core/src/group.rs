@@ -23,6 +23,7 @@
 //! [`snap_sched::Machine`] and metered for the Fig. 6(b) CPU curves.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use snap_shm::account::CpuAccountant;
@@ -173,6 +174,28 @@ impl GroupCpu {
     }
 }
 
+/// CPU this group consumed on one core, split by category — the
+/// per-core attribution behind the paper's Table 1 / Fig. 5 efficiency
+/// comparison. Every nanosecond in [`GroupCpu`] is simultaneously
+/// charged to exactly one core, so summing [`CoreCpu::total`] across
+/// [`GroupHandle::core_cpu`] reproduces [`GroupCpu::total`] exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCpu {
+    /// CPU spent inside engine passes on this core.
+    pub busy: Nanos,
+    /// CPU burned spin-polling (idle spin + poll-waits) on this core.
+    pub spin: Nanos,
+    /// Interrupt + context-switch overhead paid on this core.
+    pub wake_overhead: Nanos,
+}
+
+impl CoreCpu {
+    /// Total CPU across all categories on this core.
+    pub fn total(&self) -> Nanos {
+        self.busy + self.spin + self.wake_overhead
+    }
+}
+
 /// An engine group plus its scheduling runtime state.
 pub struct EngineGroup {
     name: String,
@@ -182,6 +205,12 @@ pub struct EngineGroup {
     workers: Vec<Worker>,
     machine: MachineHandle,
     cpu: GroupCpu,
+    /// Per-core split of `cpu`: every accrual lands in both, keyed by
+    /// the core it was charged on (deterministic iteration).
+    core_cpu: BTreeMap<CoreId, CoreCpu>,
+    /// Cumulative engine-pass CPU per engine slot (slowdown-inflated,
+    /// like the group totals). Sums to `cpu.engine`.
+    engine_cpu: Vec<Nanos>,
     accountant: CpuAccountant,
     next_core: usize,
     started: bool,
@@ -239,6 +268,8 @@ impl GroupHandle {
                 workers: Vec::new(),
                 machine,
                 cpu: GroupCpu::default(),
+                core_cpu: BTreeMap::new(),
+                engine_cpu: Vec::new(),
                 accountant,
                 next_core: 0,
                 started: false,
@@ -325,6 +356,7 @@ impl GroupHandle {
         g.crashed.push(false);
         g.stalled_until.push(Nanos::ZERO);
         g.slowdown.push(1.0);
+        g.engine_cpu.push(Nanos::ZERO);
         id
     }
 
@@ -411,7 +443,10 @@ impl GroupHandle {
                         ev.cancel();
                     }
                     w.state = WorkerState::Scheduled;
-                    g.cpu.spin += now.saturating_sub(since);
+                    let core = w.core;
+                    let accrued = now.saturating_sub(since);
+                    g.cpu.spin += accrued;
+                    g.core_cpu.entry(core).or_default().spin += accrued;
                     (wi, Some(Nanos(costs::SPIN_PICKUP_NS)))
                 }
                 WorkerState::Blocked => {
@@ -421,8 +456,9 @@ impl GroupHandle {
                         g.machine.borrow_mut().interrupt_wakeup(now, class, core_hint);
                     let w = &mut g.workers[wi];
                     w.core = core;
-                    g.cpu.wake_overhead +=
-                        Nanos(costs::INTERRUPT_NS + costs::CONTEXT_SWITCH_NS);
+                    let overhead = Nanos(costs::INTERRUPT_NS + costs::CONTEXT_SWITCH_NS);
+                    g.cpu.wake_overhead += overhead;
+                    g.core_cpu.entry(core).or_default().wake_overhead += overhead;
                     (wi, Some(lat))
                 }
             }
@@ -488,6 +524,7 @@ impl GroupHandle {
             let container = engine.container().to_string();
             let mut g = self.inner.borrow_mut();
             g.accountant.charge(&container, report.cpu.as_nanos());
+            g.engine_cpu[id.0 as usize] += report.cpu;
             if let Some(slot) = g.slots[id.0 as usize].as_mut() {
                 slot.engine = engine;
                 slot.last_report = report;
@@ -518,6 +555,7 @@ impl GroupHandle {
                 _ => now,
             };
             g.machine.borrow_mut().run_slice(core, throttle_start, total_cpu);
+            g.core_cpu.entry(core).or_default().busy += total_cpu;
             let w = &mut g.workers[worker_idx];
             if any_work || any_pending {
                 w.state = WorkerState::Scheduled;
@@ -529,6 +567,7 @@ impl GroupHandle {
                 let resume = d.max(now + Nanos(1));
                 w.state = WorkerState::Scheduled;
                 g.cpu.spin += resume - now;
+                g.core_cpu.entry(core).or_default().spin += resume - now;
                 Some(resume)
             } else {
                 if w.spins {
@@ -583,6 +622,7 @@ impl GroupHandle {
                 let core = w.core;
                 g.machine.borrow_mut().set_spinning(core, false);
                 g.cpu.spin += now.saturating_sub(since);
+                g.core_cpu.entry(core).or_default().spin += now.saturating_sub(since);
             }
         });
         self.inner.borrow_mut().workers[worker_idx].idle_block_event = Some(ev);
@@ -674,6 +714,7 @@ impl GroupHandle {
             w.state = WorkerState::Blocked;
             w.spins = false;
             g.cpu.spin += spin_accrued;
+            g.core_cpu.entry(core).or_default().spin += spin_accrued;
             g.machine.borrow_mut().set_spinning(core, false);
         }
     }
@@ -1028,18 +1069,59 @@ impl GroupHandle {
 
     /// CPU consumption snapshot, flushing idle-spin accrual up to `now`.
     pub fn cpu(&self, now: Nanos) -> GroupCpu {
-        let mut g = self.inner.borrow_mut();
+        let inner = &mut *self.inner.borrow_mut();
+        let core_cpu = &mut inner.core_cpu;
         let mut accrued = Nanos::ZERO;
-        for w in &mut g.workers {
+        for w in &mut inner.workers {
             if let WorkerState::SpinningIdle { since } = w.state {
                 if now > since {
                     accrued += now - since;
+                    core_cpu.entry(w.core).or_default().spin += now - since;
                     w.state = WorkerState::SpinningIdle { since: now };
                 }
             }
         }
-        g.cpu.spin += accrued;
-        g.cpu
+        inner.cpu.spin += accrued;
+        inner.cpu
+    }
+
+    /// Per-core CPU split (busy / spin / wake) up to `now`, flushing
+    /// idle-spin accrual first. Deterministic order (ascending core id).
+    /// Invariant: summing [`CoreCpu::total`] over the result equals
+    /// [`GroupHandle::cpu`]`.total()` exactly — every nanosecond the
+    /// group burns is charged to exactly one core.
+    pub fn core_cpu(&self, now: Nanos) -> Vec<(CoreId, CoreCpu)> {
+        let _ = self.cpu(now); // flush spin accrual into the per-core map
+        self.inner
+            .borrow()
+            .core_cpu
+            .iter()
+            .map(|(&c, &v)| (c, v))
+            .collect()
+    }
+
+    /// Cumulative engine-pass CPU per engine slot (slowdown-inflated,
+    /// like the group totals). Sums exactly to [`GroupCpu::engine`].
+    pub fn engine_cpu(&self) -> Vec<(EngineId, Nanos)> {
+        self.inner
+            .borrow()
+            .engine_cpu
+            .iter()
+            .enumerate()
+            .map(|(i, &ns)| (EngineId(i as u32), ns))
+            .collect()
+    }
+
+    /// Total CPU-time the MicroQuanta budgets deferred across all
+    /// workers (zero in dedicated mode, which runs unbudgeted).
+    pub fn throttled_total(&self) -> Nanos {
+        self.inner
+            .borrow()
+            .workers
+            .iter()
+            .filter_map(|w| w.budget.as_ref())
+            .map(|b| b.throttled_total)
+            .fold(Nanos::ZERO, |a, b| a + b)
     }
 
     /// Number of workers currently spinning or scheduled (≈ cores in
@@ -1257,6 +1339,77 @@ mod tests {
         g.wake(&mut sim, id);
         sim.run_until(Nanos::from_millis(2));
         assert_eq!(processed(&g, id), 4);
+    }
+
+    #[test]
+    fn per_core_attribution_sums_to_group_totals_in_every_mode() {
+        let modes = [
+            SchedulingMode::Dedicated { cores: vec![0, 1] },
+            SchedulingMode::Spreading,
+            SchedulingMode::Compacting {
+                slo: Nanos::from_micros(5),
+                rebalance_poll: Nanos::from_micros(10),
+                idle_block: Nanos::from_micros(100),
+            },
+        ];
+        for mode in modes {
+            let mut sim = Sim::new();
+            let g = GroupHandle::new(
+                GroupConfig {
+                    name: "attr".into(),
+                    mode: mode.clone(),
+                    class: None,
+                },
+                machine(),
+                CpuAccountant::new(),
+            );
+            let a = g.add_engine(Box::new(CountingEngine::new("a", Nanos(800))));
+            let b = g.add_engine(Box::new(CountingEngine::new("b", Nanos(800))));
+            g.start(&mut sim);
+            for round in 0..30u64 {
+                let at = Nanos::from_micros(round * 15);
+                let (g2, a2, b2) = (g.clone(), a, b);
+                sim.schedule_at(at, move |sim| {
+                    inject(&g2, a2, sim.now(), 4);
+                    inject(&g2, b2, sim.now(), 4);
+                    g2.wake(sim, a2);
+                    g2.wake(sim, b2);
+                });
+            }
+            sim.run_until(Nanos::from_millis(2));
+            g.stop();
+            sim.run();
+            let now = sim.now();
+            let total = g.cpu(now);
+            let per_core = g.core_cpu(now);
+            let core_sum: Nanos = per_core
+                .iter()
+                .map(|(_, c)| c.total())
+                .fold(Nanos::ZERO, |x, y| x + y);
+            assert_eq!(
+                core_sum,
+                total.total(),
+                "{}: per-core CPU must sum to the group total exactly",
+                g.mode_label()
+            );
+            let busy_sum: Nanos = per_core
+                .iter()
+                .map(|(_, c)| c.busy)
+                .fold(Nanos::ZERO, |x, y| x + y);
+            assert_eq!(busy_sum, total.engine, "{}: busy split", g.mode_label());
+            let engine_sum: Nanos = g
+                .engine_cpu()
+                .iter()
+                .map(|(_, ns)| *ns)
+                .fold(Nanos::ZERO, |x, y| x + y);
+            assert_eq!(
+                engine_sum, total.engine,
+                "{}: per-engine CPU must sum to GroupCpu::engine",
+                g.mode_label()
+            );
+            assert_eq!(processed(&g, a), 120, "{}", g.mode_label());
+            assert_eq!(processed(&g, b), 120, "{}", g.mode_label());
+        }
     }
 
     #[test]

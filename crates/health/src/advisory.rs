@@ -1,0 +1,102 @@
+//! Advisory signals: soft health inputs from outside the probe path.
+//!
+//! The probe-driven [`crate::HealthMonitor`] reacts to what it can
+//! *measure in-band*: probe arrivals, loss, latency against a learned
+//! baseline. Some degradation evidence lives elsewhere — an SLO layer
+//! watching burn rates over recorded time series, a capacity planner,
+//! an operator. Those producers push [`Advisory`] records into a shared
+//! [`AdvisoryLog`]; the health sweep (or an operator dashboard) drains
+//! it and treats entries as *advisory*: context for a quarantine
+//! decision, never an automatic trigger on their own. Keeping the
+//! channel one-way and passive preserves the monitor's determinism
+//! guarantee — advisories never feed back into modeled time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snap_sim::Nanos;
+
+use crate::monitor::Verdict;
+
+/// One advisory record: a soft health signal from a non-probe source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Advisory {
+    /// Virtual time the signal was raised.
+    pub at: Nanos,
+    /// Producer identity, e.g. `slo.dag_p99`.
+    pub source: String,
+    /// Suggested severity, reusing the monitor's verdict scale.
+    pub severity: Verdict,
+    /// Human-readable cause, e.g. `burn 14.2x over 5ms/50ms windows`.
+    pub reason: String,
+}
+
+/// A shared, append-only advisory channel. Cloning shares the store
+/// (`Rc`-backed, single-threaded like the rest of the stack).
+#[derive(Clone, Default)]
+pub struct AdvisoryLog {
+    inner: Rc<RefCell<Vec<Advisory>>>,
+}
+
+impl AdvisoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one advisory.
+    pub fn push(&self, advisory: Advisory) {
+        self.inner.borrow_mut().push(advisory);
+    }
+
+    /// Number of advisories currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Removes and returns every queued advisory, oldest first.
+    pub fn drain(&self) -> Vec<Advisory> {
+        std::mem::take(&mut *self.inner.borrow_mut())
+    }
+
+    /// A copy of the queue without draining it (dashboards peek,
+    /// sweeps drain).
+    pub fn peek(&self) -> Vec<Advisory> {
+        self.inner.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_peek_drain() {
+        let log = AdvisoryLog::new();
+        assert!(log.is_empty());
+        log.push(Advisory {
+            at: Nanos(10),
+            source: "slo.p99".to_string(),
+            severity: Verdict::Degraded,
+            reason: "burn 14x".to_string(),
+        });
+        let shared = log.clone();
+        shared.push(Advisory {
+            at: Nanos(20),
+            source: "slo.delivery".to_string(),
+            severity: Verdict::Healthy,
+            reason: "resolved".to_string(),
+        });
+        assert_eq!(log.len(), 2, "clones share one store");
+        assert_eq!(log.peek().len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].at, Nanos(10), "oldest first");
+        assert!(log.is_empty());
+    }
+}

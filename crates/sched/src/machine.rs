@@ -48,6 +48,11 @@ impl Core {
 /// A machine: a set of hardware threads plus scheduling-relevant state.
 pub struct Machine {
     cores: Vec<Core>,
+    /// Cumulative busy nanoseconds charged per core via
+    /// [`Machine::run_slice`] — the machine-level view of core
+    /// occupancy (engines *and* antagonists), read by the observability
+    /// layer's CPU attribution.
+    busy_total: Vec<Nanos>,
     cstates_enabled: bool,
     /// Number of CFS compute-antagonist threads currently runnable.
     compute_antagonists: u32,
@@ -69,6 +74,7 @@ impl Machine {
                 };
                 num_cores
             ],
+            busy_total: vec![Nanos::ZERO; num_cores],
             cstates_enabled: true,
             compute_antagonists: 0,
             rng: Rng::new(seed).stream(0x5CED),
@@ -100,10 +106,21 @@ impl Machine {
     /// Records that `core` executes work for `duration` starting `now`
     /// (extends any current slice).
     pub fn run_slice(&mut self, core: CoreId, now: Nanos, duration: Nanos) {
+        self.busy_total[core] += duration;
         let c = &mut self.cores[core];
         let start = c.busy_until.max(now);
         c.busy_until = start + duration;
         c.idle_since = c.busy_until;
+    }
+
+    /// Cumulative busy time charged to `core` via [`Machine::run_slice`].
+    pub fn core_busy_total(&self, core: CoreId) -> Nanos {
+        self.busy_total[core]
+    }
+
+    /// Cumulative busy time per core, indexed by [`CoreId`].
+    pub fn busy_totals(&self) -> &[Nanos] {
+        &self.busy_total
     }
 
     /// Marks a core as inside a non-preemptible kernel section until
@@ -383,6 +400,17 @@ mod tests {
         // Second slice queues behind the first.
         assert!(!m.cores[0].is_idle(Nanos(199)));
         assert!(m.cores[0].is_idle(Nanos(200)));
+    }
+
+    #[test]
+    fn busy_totals_accumulate_per_core() {
+        let mut m = machine(2);
+        m.run_slice(0, Nanos(100), Nanos(50));
+        m.run_slice(0, Nanos(200), Nanos(25));
+        m.run_slice(1, Nanos(100), Nanos(10));
+        assert_eq!(m.core_busy_total(0), Nanos(75));
+        assert_eq!(m.core_busy_total(1), Nanos(10));
+        assert_eq!(m.busy_totals(), &[Nanos(75), Nanos(10)]);
     }
 
     #[test]

@@ -166,6 +166,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Shorthand for `quantile(0.999)`.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -408,6 +413,44 @@ mod tests {
                 "value {v} quantized to {got}"
             );
         }
+    }
+
+    #[test]
+    fn p999_pins_interpolation_at_bucket_edges() {
+        // 999 small values + 1 large: the p999 rank (ceil(0.999*1000) =
+        // 999) still lands on the small cluster; only p(>999/1000)
+        // crosses into the outlier bucket.
+        let mut h = Histogram::new();
+        h.record_n(16, 999); // < SUB_BUCKETS: stored exactly
+        h.record(1_000_000);
+        assert_eq!(h.p999(), 16);
+        assert!(h.quantile(0.9995) >= 990_000);
+
+        // Exactly at a power-of-two bucket edge: the value 2^SUB_BITS
+        // (= 32) is the first non-exact bucket, whose midpoint is the
+        // value itself (width 1) — no quantization error at the edge.
+        let mut edge = Histogram::new();
+        edge.record_n(SUB_BUCKETS as u64, 1_000);
+        assert_eq!(edge.p999(), SUB_BUCKETS as u64);
+
+        // Top of a level: 2^(m+1)-1 is the last sub-bucket of level m;
+        // the midpoint is clamped into [min, max], so p999 never
+        // escapes the observed range even at the ring edge.
+        let mut top = Histogram::new();
+        top.record_n((1u64 << 20) - 1, 1_000);
+        assert_eq!(top.p999(), (1u64 << 20) - 1);
+
+        // Uniform data: p999 tracks the true 99.9th percentile within
+        // the histogram's ~3% relative quantization error.
+        let mut u = Histogram::new();
+        for v in 1..=100_000u64 {
+            u.record(v);
+        }
+        let p999 = u.p999() as f64;
+        assert!((p999 / 99_900.0 - 1.0).abs() < 0.05, "p999 {p999}");
+        // And it sits between p99 and max, monotone.
+        assert!(u.p999() >= u.p99());
+        assert!(u.p999() <= u.max());
     }
 
     #[test]

@@ -121,12 +121,13 @@ impl Snapshot {
                         let _ = write!(
                             out,
                             "{{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
-                             \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                             \"p99\": {}, \"p999\": {}, \"min\": {}, \"max\": {}}}",
                             h.count(),
                             h.mean(),
                             h.median(),
                             h.quantile(0.90),
                             h.p99(),
+                            h.p999(),
                             h.min(),
                             h.max(),
                         );
@@ -222,6 +223,7 @@ mod tests {
         assert!(json.contains("\"a.count\": 4"), "{json}");
         assert!(json.contains("\"b.depth\": -2"), "{json}");
         assert!(json.contains("\"c.lat\": {\"count\": 1"), "{json}");
+        assert!(json.contains("\"p999\": "), "{json}");
         assert!(json.ends_with("}}"), "{json}");
         let table = snap.to_table();
         assert!(table.contains("a.count"), "{table}");

@@ -21,6 +21,7 @@ use snap_repro::core::supervisor::SupervisorConfig;
 use snap_repro::health_rig::HealthRigConfig;
 use snap_repro::isolation::QuotaPolicy;
 use snap_repro::nic::packet::QosClass;
+use snap_repro::obs::{FlightRecorder, RecorderConfig, Timeline};
 use snap_repro::pony::client::{HedgeConfig, OpStatus, PonyCommand, PonyCompletion};
 use snap_repro::shm::region::AccessMode;
 use snap_repro::sim::fault::{FaultEvent, FaultPlan};
@@ -55,6 +56,18 @@ fn main() {
     let frontend_id = tb.hosts[0].module.engine_for("frontend").expect("engine");
     stats.watch_supervisor(sup.clone(), &[(frontend_id, "h0.frontend".to_string())]);
     stats.start(&mut tb.sim);
+
+    // A flight recorder folds the stats registry into bounded time
+    // series every millisecond, so the run ends with a *timeline* of
+    // the whole incident — not just a final table.
+    let rec = FlightRecorder::new(
+        RecorderConfig {
+            cadence: Nanos::from_millis(1),
+            capacity: 4096,
+        },
+        stats.registry(),
+    );
+    rec.start(&mut tb.sim);
 
     // The fault script: corruption throughout, a crash at 30 ms, a
     // 500 ms partition starting at 150 ms, and a 90% memory squeeze on
@@ -201,10 +214,34 @@ fn main() {
     );
 
     stats.stop();
+    rec.stop();
+    rec.sample_once(&mut tb.sim);
     println!(
         "delivered {}/40 messages, in order: {}",
         got.len(),
         got == (0..40).collect::<Vec<u64>>()
+    );
+
+    // Export the incident as a Chrome-trace timeline: engine and
+    // fault-accounting counter lanes from the recorder, with every
+    // scripted fault as an instant on the same virtual-time axis.
+    // Load it at chrome://tracing or ui.perfetto.dev.
+    let mut tl = Timeline::new();
+    tl.add_series_under(&rec, "engine.h0.frontend.");
+    tl.add_series_under(&rec, "fabric.");
+    tl.add_instant(Nanos(1), "fault: corruption 2%");
+    tl.add_instant(Nanos::from_millis(30), "fault: engine crash h0");
+    tl.add_instant(Nanos::from_millis(150), "fault: partition 0<->1");
+    tl.add_instant(Nanos::from_millis(650), "fault: heal 0<->1");
+    tl.add_instant(Nanos::from_millis(2_000), "fault: memory squeeze 90%");
+    tl.add_instant(Nanos::from_millis(2_400), "fault: pressure released");
+    tl.add_instant(Nanos::from_millis(3_005), "fault: link 0->1 lossy 30%");
+    let timeline_path = "TIMELINE_fault_injection.json";
+    std::fs::write(timeline_path, tl.to_json()).expect("write timeline");
+    println!(
+        "wrote {timeline_path}: {} events over {} recorder ticks",
+        tl.len(),
+        rec.ticks()
     );
     // The final dashboards: engine op counters, restart/blackout
     // telemetry, and per-link drop attribution from one stats

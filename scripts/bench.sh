@@ -9,6 +9,10 @@
 #   bench.sh pr6 [out]  — gray-failure health only (default BENCH_pr6.json)
 #   bench.sh pr8 [out]  — app DAG over TCP vs Pony (default BENCH_pr8.json)
 #   bench.sh pr9 [out]  — multi-rack Clos scenarios (default BENCH_pr9.json)
+#   bench.sh pr10 [out] — flight-recorder overhead + CPU attribution
+#                         (default BENCH_pr10.json; also writes
+#                         TIMELINE_pr10.json, a Chrome-trace export)
+#   bench.sh compare    — perf trajectory across all BENCH_pr<N>.json
 #
 # pr2: ping-pong + streaming, batched vs batch-of-1 ablation.
 # pr3: the PR-2 streaming workload bare vs with a StatsModule polling
@@ -36,6 +40,14 @@
 #      backends, a 12:4 cross-rack pool on non-blocking vs 4:1
 #      oversubscribed trunks, and the mixed fleet under a diurnal
 #      arrival curve spanning two racks.
+# pr10: the PR-2 streaming workload bare vs with the flight recorder
+#      sampling every millisecond (CPU attribution included) — the
+#      attached run must be modeled-identical and within 3% wall-clock
+#      — plus a scheduling-mode attribution sweep and a 2-rack
+#      gray-failure scenario exported as a Chrome-trace timeline.
+#
+# After every full run, bench_compare.py prints the perf trajectory
+# across all BENCH_pr<N>.json files (newest diffed against priors).
 #
 # The virtual-time metrics (ops, packets, simulated Mops/s, simulated
 # CPU per packet) are fully deterministic under the fixed seed baked
@@ -81,6 +93,16 @@ run_pr9() {
     cargo run --release -q -p snap-bench --bin bench_topo "${1:-BENCH_pr9.json}"
 }
 
+run_pr10() {
+    cargo build --release -p snap-bench --bin bench_obs
+    cargo run --release -q -p snap-bench --bin bench_obs \
+        "${1:-BENCH_pr10.json}" "${2:-TIMELINE_pr10.json}"
+}
+
+run_compare() {
+    python3 scripts/bench_compare.py
+}
+
 case "$mode" in
     all)
         run_pr2
@@ -90,6 +112,8 @@ case "$mode" in
         run_pr6
         run_pr8
         run_pr9
+        run_pr10
+        run_compare
         ;;
     pr2)
         run_pr2 "${2:-}"
@@ -111,6 +135,12 @@ case "$mode" in
         ;;
     pr9)
         run_pr9 "${2:-}"
+        ;;
+    pr10)
+        run_pr10 "${2:-}" "${3:-}"
+        ;;
+    compare)
+        run_compare
         ;;
     *)
         # Backward compatibility: a bare path argument is the pr2 output.

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf trajectory across the BENCH_pr<N>.json files.
+
+Each PR's bench writes one JSON (BENCH_pr2.json, BENCH_pr3.json, ...).
+Schemas differ per bench, so the comparison is structural: every file
+is flattened to dot-path -> number, the newest file's paths are diffed
+against every older file that shares them, and a headline table shows
+the trajectory at a glance.
+
+Usage:
+    bench_compare.py [dir]          # default: repo root (script's ..)
+    bench_compare.py dir latest.json  # diff one file against the rest
+
+Only wall-clock metrics legitimately drift between machines; modeled
+(virtual-time) metrics are seeded and should only move when the model
+itself changes — which is exactly what this table is for catching.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+HEADLINE_PATTERNS = [
+    r"wall_pct$",
+    r"p99(_us|_ns)?$",
+    r"(^|\.)ops$",
+    r"throughput",
+    r"wall_secs$",
+]
+
+
+def flatten(obj, prefix=""):
+    """dot-path -> float for every numeric leaf (bools excluded)."""
+    out = {}
+    if isinstance(obj, dict):
+        for key, val in obj.items():
+            out.update(flatten(val, f"{prefix}{key}."))
+    elif isinstance(obj, list):
+        for idx, val in enumerate(obj):
+            out.update(flatten(val, f"{prefix}{idx}."))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix[:-1]] = float(obj)
+    return out
+
+
+def pr_number(path):
+    m = re.search(r"BENCH_pr(\d+)\.json$", path.name)
+    return int(m.group(1)) if m else None
+
+
+def headline(flat):
+    """First few metrics matching the headline patterns, in order."""
+    picks = []
+    for pattern in HEADLINE_PATTERNS:
+        for key in sorted(flat):
+            if re.search(pattern, key) and key not in [p[0] for p in picks]:
+                picks.append((key, flat[key]))
+                break
+        if len(picks) >= 4:
+            break
+    return picks
+
+
+def fmt(value):
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    files = sorted(
+        (p for p in root.glob("BENCH_pr*.json") if pr_number(p) is not None),
+        key=pr_number,
+    )
+    if len(sys.argv) > 2:
+        latest_path = Path(sys.argv[2])
+        files = [p for p in files if p.resolve() != latest_path.resolve()]
+    else:
+        if not files:
+            print("no BENCH_pr<N>.json files found under", root)
+            return 0
+        latest_path = files[-1]
+        files = files[:-1]
+
+    benches = []
+    for path in files + [latest_path]:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"skipping {path.name}: {err}")
+            continue
+        benches.append((path, data.get("bench", "?"), flatten(data)))
+    if not benches:
+        print("nothing to compare")
+        return 0
+
+    print("== bench trajectory ==")
+    print(f"{'file':<18} {'bench':<24} headline metrics")
+    for path, name, flat in benches:
+        cells = ", ".join(f"{k}={fmt(v)}" for k, v in headline(flat))
+        print(f"{path.name:<18} {name:<24} {cells}")
+
+    latest_path, latest_name, latest = benches[-1]
+    print()
+    print(f"== {latest_path.name} ({latest_name}) vs prior benches ==")
+    any_shared = False
+    for path, name, flat in reversed(benches[:-1]):
+        shared = sorted(set(flat) & set(latest))
+        if not shared:
+            continue
+        any_shared = True
+        deltas = []
+        for key in shared:
+            old, new = flat[key], latest[key]
+            pct = (new - old) / old * 100.0 if old else float("inf")
+            deltas.append((abs(pct), key, old, new, pct))
+        deltas.sort(reverse=True)
+        print(f"-- {path.name} ({name}): {len(shared)} shared metrics")
+        for _, key, old, new, pct in deltas[:8]:
+            print(f"   {key:<48} {fmt(old):>12} -> {fmt(new):>12}  {pct:+8.1f}%")
+    if not any_shared:
+        print("(no shared metric paths — schemas are disjoint; see headline table)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,4 +21,17 @@ cargo test -q
 echo "== tier-1: cargo clippy --workspace --all-targets =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Observability smoke: the recorder bench must keep the modeled run
+# identical (asserted inside the bin) and both exports must be valid
+# JSON — the timeline in particular must stay loadable by Chrome
+# tracing / Perfetto, which json.tool approximates structurally.
+echo "== tier-1: bench_obs smoke + export validation =="
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release -q -p snap-bench --bin bench_obs \
+    "$obs_tmp/BENCH_pr10.json" "$obs_tmp/TIMELINE_pr10.json"
+python3 -m json.tool "$obs_tmp/BENCH_pr10.json" > /dev/null
+python3 -m json.tool "$obs_tmp/TIMELINE_pr10.json" > /dev/null
+echo "bench_obs exports parse as JSON"
+
 echo "tier-1 gate: OK"

@@ -25,6 +25,7 @@ pub use snap_telemetry as telemetry;
 pub use snap_topo as topo;
 
 pub use snap_health as health;
+pub use snap_obs as obs;
 
 pub mod fleet;
 pub mod health_rig;

@@ -34,8 +34,9 @@ use snap_sim::{Nanos, Sim};
 use snap_topo::ClosSpec;
 
 use crate::health_rig::{HealthRig, HealthRigConfig, PROBER_APP};
+use snap_obs::{CpuSampler, FlightRecorder, RecorderConfig};
 use snap_tcp::stack::{TcpConfig, TcpHost};
-use snap_telemetry::{StatsConfig, StatsModule, TraceModule};
+use snap_telemetry::{Registry, StatsConfig, StatsModule, TraceModule};
 
 /// Testbed construction parameters.
 #[derive(Clone)]
@@ -668,6 +669,24 @@ impl Testbed {
             stats.watch_group(&format!("h{h}"), host.group.clone());
         }
         stats
+    }
+
+    /// A [`FlightRecorder`] over a fresh obs registry, pre-wired with
+    /// a [`CpuSampler`] watching every host (labeled `h<h>`): each
+    /// sample tick publishes per-core/per-engine CPU attribution
+    /// before folding the registry into time series. The sampling loop
+    /// is *not* started — call [`FlightRecorder::start`] (periodic on
+    /// the configured cadence) or [`FlightRecorder::sample_once`] as
+    /// the experiment needs.
+    pub fn flight_recorder(&mut self, cfg: RecorderConfig) -> FlightRecorder {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::new(cfg, registry.clone());
+        let mut sampler = CpuSampler::new(registry);
+        for (h, host) in self.hosts.iter().enumerate() {
+            sampler.watch_host(&format!("h{h}"), host.group.clone(), host.machine.clone());
+        }
+        recorder.add_pre_sample(Box::new(move |sim| sampler.publish(sim.now())));
+        recorder
     }
 }
 

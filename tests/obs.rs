@@ -1,0 +1,243 @@
+//! Flight-recorder integration (PR 10): reset-aware sampling across
+//! crash/restart and live-upgrade churn, byte-identical determinism,
+//! and the per-core CPU attribution invariant under property-driven
+//! workloads.
+
+use proptest::prelude::*;
+
+use snap_repro::core::group::SchedulingMode;
+use snap_repro::core::supervisor::SupervisorConfig;
+use snap_repro::core::upgrade::UpgradeOrchestrator;
+use snap_repro::obs::{FlightRecorder, PointValue, RecorderConfig};
+use snap_repro::pony::client::{PonyCommand, PonyCompletion};
+use snap_repro::sim::fault::{FaultEvent, FaultPlan};
+use snap_repro::sim::Nanos;
+use snap_repro::telemetry::StatsConfig;
+use snap_repro::testbed::{Testbed, TestbedConfig};
+
+/// Sums a rate series and checks its timestamps strictly increase.
+fn rate_series_sum(rec: &FlightRecorder, name: &str) -> u64 {
+    let points = rec.series(name);
+    assert!(!points.is_empty(), "series {name} has points");
+    let mut last = None;
+    let mut sum = 0u64;
+    for (at, v) in points {
+        if let Some(prev) = last {
+            // A manual sample may share the last periodic tick's
+            // timestamp; time must never run backwards though.
+            assert!(at >= prev, "series {name} timestamps never regress");
+        }
+        last = Some(at);
+        match v {
+            PointValue::Rate(r) => sum += r,
+            other => panic!("series {name} is not a rate: {other:?}"),
+        }
+    }
+    sum
+}
+
+/// Crash/restart plus a live upgrade mid-run, recorder attached to the
+/// stats registry the whole time. The recorder's windows must tile the
+/// run exactly: the sum of per-window deltas equals the final
+/// cumulative counter — nothing double-counted across the restart,
+/// nothing lost across the upgrade.
+fn churn_run() -> (String, u64, u64) {
+    let mut tb = Testbed::pair();
+    let mut a = tb.pony_app(0, "client", |_| {});
+    let mut b = tb.pony_app(1, "server", |_| {});
+    let conn = tb.connect(0, "client", 1, "server");
+    b.submit(&mut tb.sim, PonyCommand::PostRecvBuffers { conn, count: 256 });
+
+    let sup = tb.supervise_app(
+        0,
+        "client",
+        SupervisorConfig {
+            checkpoint_interval: Nanos::from_millis(1),
+            ..SupervisorConfig::default()
+        },
+    );
+    let stats = tb.stats_module(StatsConfig {
+        poll_period: Nanos::from_micros(500),
+    });
+    stats.start(&mut tb.sim);
+    let rec = FlightRecorder::new(
+        RecorderConfig {
+            cadence: Nanos::from_millis(1),
+            capacity: 4096,
+        },
+        stats.registry(),
+    );
+    rec.start(&mut tb.sim);
+
+    let plan = FaultPlan::new().at(
+        Nanos::from_millis(30),
+        FaultEvent::EngineCrash { host: 0, engine: 0 },
+    );
+    tb.install_fault_plan(&plan);
+
+    let mut got = Vec::new();
+    let drain = |b: &mut snap_repro::pony::PonyClient, got: &mut Vec<u64>| {
+        for c in b.take_completions() {
+            if let PonyCompletion::RecvMsg { msg, .. } = c {
+                got.push(msg);
+            }
+        }
+    };
+    // Phase A: before the crash (quiesces by t=30ms).
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 8_000 });
+        tb.run_ms(2);
+        drain(&mut b, &mut got);
+    }
+    // Phase B: ride out the restart blackout, then more traffic.
+    while tb.sim.now() < Nanos::from_millis(80) {
+        tb.run_ms(5);
+    }
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 8_000 });
+        tb.run_ms(2);
+        drain(&mut b, &mut got);
+    }
+    // Phase C: live-upgrade the server engine under load.
+    let id = tb.hosts[1].module.engine_for("server").unwrap();
+    let factory = tb.hosts[1].module.upgrade_factory("server").unwrap();
+    let mut orch = UpgradeOrchestrator::new();
+    orch.add_engine_fallible(tb.hosts[1].group.clone(), id, 3, factory);
+    let report = orch.start(&mut tb.sim);
+    for _ in 0..10 {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len: 8_000 });
+        tb.run_ms(10);
+        drain(&mut b, &mut got);
+    }
+    tb.run_ms(500);
+    drain(&mut b, &mut got);
+    stats.stop();
+    rec.stop();
+    // One final sample so the last partial window is recorded too.
+    stats.poll_once(&mut tb.sim);
+    rec.sample_once(&mut tb.sim);
+
+    assert!(report.borrow().is_some(), "upgrade completed");
+    assert_eq!(sup.report().crash_restarts, 1, "the crash actually restarted");
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got, (0..30).collect::<Vec<u64>>(), "exactly-once delivery");
+
+    let final_tx = stats
+        .snapshot(tb.sim.now())
+        .counter("engine.h0.client.tx_packets")
+        .expect("stats watched the client engine");
+    let recorded_tx = rate_series_sum(&rec, "engine.h0.client.tx_packets");
+    (rec.to_json(), recorded_tx, final_tx)
+}
+
+#[test]
+fn recorder_windows_tile_exactly_across_restart_and_upgrade() {
+    let (_, recorded_tx, final_tx) = churn_run();
+    assert!(final_tx > 0, "workload generated traffic");
+    assert_eq!(
+        recorded_tx, final_tx,
+        "recorder windows must sum to the cumulative counter: \
+         no double-counting across the restart, no loss across the upgrade"
+    );
+}
+
+#[test]
+fn same_seed_gives_byte_identical_recorder_output() {
+    let (json_a, _, _) = churn_run();
+    let (json_b, _, _) = churn_run();
+    assert_eq!(json_a, json_b, "same seed must replay to identical bytes");
+}
+
+/// Runs a short streaming workload in the given mode and returns the
+/// testbed with its recorder after a final sample.
+fn attribution_run(mode: SchedulingMode, seed: u64, msgs: usize, len: u64) -> (Testbed, FlightRecorder) {
+    let mut tb = Testbed::new(TestbedConfig {
+        seed,
+        cores_per_host: 4,
+        mode,
+        ..TestbedConfig::default()
+    });
+    let mut a = tb.pony_app(0, "src", |_| {});
+    let mut b = tb.pony_app(1, "sink", |_| {});
+    let conn = tb.connect(0, "src", 1, "sink");
+    let rec = tb.flight_recorder(RecorderConfig {
+        cadence: Nanos::from_micros(500),
+        ..RecorderConfig::default()
+    });
+    rec.start(&mut tb.sim);
+    for _ in 0..msgs {
+        a.submit(&mut tb.sim, PonyCommand::Send { conn, stream: 0, len });
+        tb.run_us(100);
+        for _ in b.take_completions() {}
+        for _ in a.take_completions() {}
+    }
+    tb.run_ms(2);
+    rec.stop();
+    rec.sample_once(&mut tb.sim);
+    (tb, rec)
+}
+
+proptest! {
+    /// The published per-core split tiles the group's CPU ledger in
+    /// every scheduling mode, for arbitrary workload shapes: every
+    /// nanosecond the group consumed lands on exactly one core, and
+    /// busy + spin + wake + idle accounts for each core's entire
+    /// elapsed virtual time.
+    #[test]
+    fn per_core_attribution_sums_to_total_sim_cpu(
+        seed in 1u64..1000,
+        mode_pick in 0usize..3,
+        msgs in 1usize..24,
+        len in 64u64..16_384,
+    ) {
+        let mode = match mode_pick {
+            0 => SchedulingMode::Dedicated { cores: vec![0, 1] },
+            1 => SchedulingMode::Spreading,
+            _ => SchedulingMode::Compacting {
+                slo: Nanos::from_micros(5),
+                rebalance_poll: Nanos::from_micros(10),
+                idle_block: Nanos::from_micros(100),
+            },
+        };
+        let (tb, rec) = attribution_run(mode, seed, msgs, len);
+        let now = tb.sim.now();
+        let snap = rec.registry().snapshot(now);
+        for (h, host) in tb.hosts.iter().enumerate() {
+            let total = host.group.cpu(now);
+            let mut split_sum = 0u64;
+            let mut elapsed_sum = 0u64;
+            let mut cores = 0u64;
+            for name in snap.names_under(&format!("cpu.h{h}.core")) {
+                let v = snap.counter(name).unwrap_or(0);
+                if name.ends_with(".busy_ns")
+                    || name.ends_with(".spin_ns")
+                    || name.ends_with(".wake_ns")
+                {
+                    split_sum += v;
+                    elapsed_sum += v;
+                } else if name.ends_with(".idle_ns") {
+                    elapsed_sum += v;
+                    cores += 1;
+                }
+            }
+            prop_assert_eq!(
+                split_sum,
+                total.total().as_nanos(),
+                "host {}: per-core busy/spin/wake must sum to the group total",
+                h
+            );
+            prop_assert_eq!(
+                elapsed_sum,
+                cores * now.as_nanos(),
+                "host {}: busy+spin+wake+idle must tile every core's elapsed time",
+                h
+            );
+            let mut engine_sum = 0u64;
+            for name in snap.names_under(&format!("cpu.h{h}.engine.")) {
+                engine_sum += snap.counter(name).unwrap_or(0);
+            }
+            prop_assert_eq!(engine_sum, total.engine.as_nanos());
+        }
+    }
+}
